@@ -1,0 +1,118 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: tight vs
+// simple repetend compaction (Figure 6), lazy vs eager schedule completion
+// (§V), period local search, and the solver's symmetry/dominance pruning.
+package tessel_test
+
+import (
+	"testing"
+
+	"tessel"
+	"tessel/internal/core"
+	"tessel/internal/solver"
+)
+
+func mustShape(b *testing.B, build func(tessel.ShapeConfig) (*tessel.Placement, error)) *tessel.Placement {
+	b.Helper()
+	p, err := build(tessel.ShapeConfig{Devices: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchSearch(b *testing.B, p *tessel.Placement, opts core.Options) {
+	b.Helper()
+	opts.MaxNR = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Search(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTightCompaction measures the search with the Figure 6(b)
+// tight inter-repetend compaction (the default).
+func BenchmarkAblationTightCompaction(b *testing.B) {
+	benchSearch(b, mustShape(b, tessel.NewMShape), core.Options{})
+}
+
+// BenchmarkAblationSimpleCompaction measures the Figure 6(a) ablation: the
+// next repetend waits for the whole previous one.
+func BenchmarkAblationSimpleCompaction(b *testing.B) {
+	benchSearch(b, mustShape(b, tessel.NewMShape), core.Options{SimpleCompaction: true})
+}
+
+// BenchmarkAblationLazySearch measures the default lazy completion checks.
+func BenchmarkAblationLazySearch(b *testing.B) {
+	benchSearch(b, mustShape(b, tessel.NewNNShape), core.Options{})
+}
+
+// BenchmarkAblationEagerSearch measures completion solved time-optimally on
+// every improving repetend (lazy search disabled, §V).
+func BenchmarkAblationEagerSearch(b *testing.B) {
+	benchSearch(b, mustShape(b, tessel.NewNNShape), core.Options{DisableLazy: true})
+}
+
+// BenchmarkAblationLocalSearchOn measures repetend order local search.
+func BenchmarkAblationLocalSearchOn(b *testing.B) {
+	benchSearch(b, mustShape(b, tessel.NewKShape), core.Options{})
+}
+
+// BenchmarkAblationLocalSearchOff disables the adjacent-swap improvement.
+func BenchmarkAblationLocalSearchOff(b *testing.B) {
+	benchSearch(b, mustShape(b, tessel.NewKShape), core.Options{DisableLocalSearch: true})
+}
+
+func solverTasks(b *testing.B, n int) []solver.Task {
+	b.Helper()
+	p, err := tessel.NewVShape(tessel.ShapeConfig{Devices: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks, err := solver.BuildTasks(p, solver.AllBlocks(p, n), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tasks
+}
+
+func benchSolve(b *testing.B, opts solver.Options) {
+	b.Helper()
+	tasks := solverTasks(b, 4)
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(tasks, opts)
+		if err != nil || !res.Feasible {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkAblationSolverFull measures the exact solver with all pruning.
+func BenchmarkAblationSolverFull(b *testing.B) {
+	benchSolve(b, solver.Options{})
+}
+
+// BenchmarkAblationSolverNoSymmetry disables Property 4.1 pruning.
+func BenchmarkAblationSolverNoSymmetry(b *testing.B) {
+	benchSolve(b, solver.Options{DisableSymmetry: true})
+}
+
+// BenchmarkAblationSolverNoMemo disables dominance memoization.
+func BenchmarkAblationSolverNoMemo(b *testing.B) {
+	benchSolve(b, solver.Options{DisableMemo: true})
+}
+
+// BenchmarkSolverScaling shows the exponential growth of the exact solve
+// with micro-batch count — the Figure 3 effect at benchmark granularity.
+func BenchmarkSolverScaling(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		tasks := solverTasks(b, n)
+		b.Run(map[int]string{2: "nmb2", 4: "nmb4", 6: "nmb6"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.Solve(tasks, solver.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

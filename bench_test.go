@@ -1,0 +1,72 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure of
+// the paper's evaluation (§VI), each driving the corresponding experiment
+// harness. Run the full regeneration with
+//
+//	go test -bench=. -benchmem
+//
+// or print the paper-style rows directly with cmd/tessel-bench. Benchmarks
+// use the quick sweep mode so a full -bench=. pass stays in the minutes
+// range; cmd/tessel-bench (without -quick) runs the complete sweeps whose
+// outputs EXPERIMENTS.md records.
+package tessel_test
+
+import (
+	"testing"
+
+	"tessel/internal/experiments"
+)
+
+var benchMode = experiments.Mode{Quick: true}
+
+// benchExperiment runs one experiment driver b.N times and reports the
+// per-run wall time.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(name, benchMode); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (GPT stage imbalance under 1F1B/Piper).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates Figure 3 (time-optimal search-time blow-up).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig8 regenerates Figure 8 (searched schedules for all models).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkTable2 regenerates Table II (bubble rates of each schedule).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table III (model configurations).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig9 regenerates Figure 9 (TO vs Tessel search cost).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (search breakdown + lazy ablation).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11 (bubble rate vs N_R).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12 (bubble rate vs memory capacity).
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13 (GPT end-to-end throughput).
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Figure 14 (mT5 end-to-end throughput).
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates Figure 15 (Flava inference trade-off).
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16 regenerates Figure 16 (runtime breakdown).
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17 regenerates Figure 17 (blocking vs non-blocking comm).
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }

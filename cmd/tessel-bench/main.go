@@ -1,0 +1,47 @@
+// Command tessel-bench regenerates every table and figure of the paper's
+// evaluation section (§VI) and prints the corresponding rows/series.
+//
+// Usage:
+//
+//	tessel-bench              # run everything (minutes)
+//	tessel-bench -quick       # reduced sweeps (seconds)
+//	tessel-bench -only fig11  # one experiment
+//
+// See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tessel/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		only  = flag.String("only", "", "run a single experiment (comma-separated list), e.g. fig11,table2")
+	)
+	flag.Parse()
+	mode := experiments.Mode{Quick: *quick}
+	if *only == "" {
+		if err := experiments.RunAll(os.Stdout, mode); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range strings.Split(*only, ",") {
+		name = strings.TrimSpace(name)
+		t0 := time.Now()
+		res, err := experiments.Run(name, mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n[%s completed in %s]\n\n", res, name, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,112 @@
+// Custom placement: define your own operator placement strategy — here a
+// 2-branch model with an asymmetric merge, unlike any built-in shape —
+// search it, persist the result, and emit per-device code.
+//
+// This is the workflow for placements produced by external planners
+// (§VII: "these search algorithms can further extend their various
+// operator placement strategies using Tessel's schedule search").
+//
+//	go run ./examples/custom_placement
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"tessel"
+)
+
+func main() {
+	// A 4-device model: a heavy encoder chain on devices 0-1, a light
+	// side-branch on device 2, both feeding a fusion block on device 3,
+	// with the backward pass fanning back out.
+	p := &tessel.Placement{
+		Name:       "two-branch-fusion",
+		NumDevices: 4,
+		Stages: []tessel.Stage{
+			{Name: "enc0.f", Kind: tessel.Forward, Time: 2, Mem: 1, Devices: []tessel.DeviceID{0}},
+			{Name: "enc1.f", Kind: tessel.Forward, Time: 2, Mem: 1, Devices: []tessel.DeviceID{1}},
+			{Name: "side.f", Kind: tessel.Forward, Time: 3, Mem: 1, Devices: []tessel.DeviceID{2}},
+			{Name: "fuse.f", Kind: tessel.Forward, Time: 3, Mem: 1, Devices: []tessel.DeviceID{3}},
+			{Name: "fuse.b", Kind: tessel.Backward, Time: 6, Mem: -1, Devices: []tessel.DeviceID{3}},
+			{Name: "side.b", Kind: tessel.Backward, Time: 6, Mem: -1, Devices: []tessel.DeviceID{2}},
+			{Name: "enc1.b", Kind: tessel.Backward, Time: 4, Mem: -1, Devices: []tessel.DeviceID{1}},
+			{Name: "enc0.b", Kind: tessel.Backward, Time: 4, Mem: -1, Devices: []tessel.DeviceID{0}},
+		},
+		Deps: [][]int{
+			{1},    // enc0.f → enc1.f
+			{3},    // enc1.f → fuse.f
+			{3},    // side.f → fuse.f
+			{4},    // fuse.f → fuse.b
+			{5, 6}, // fuse.b → side.b, enc1.b
+			nil,    // side.b
+			{7},    // enc1.b → enc0.b
+			nil,    // enc0.b
+		},
+	}
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom placement %q: K=%d blocks, per-device work lower bound %d\n",
+		p.Name, p.K(), p.LowerBound())
+
+	res, err := tessel.Search(p, tessel.SearchOptions{N: 8, Memory: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("searched: N_R=%d period=%d bubble=%.1f%% (assignment %v)\n\n",
+		res.Repetend.NR, res.Repetend.Period, 100*res.BubbleRate, res.Repetend.Assign)
+	fmt.Print(tessel.Render(res.Full, tessel.RenderOptions{MaxWidth: 100}))
+
+	// Re-extend the same repetend to a larger job without re-searching.
+	big, err := tessel.Extend(res, 64, tessel.SearchOptions{Memory: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nextended to %d micro-batches: makespan %d (%.2f ticks per micro-batch)\n",
+		big.N, big.Makespan, float64(big.Makespan)/float64(big.N))
+
+	// Round-trip the placement and schedule through the JSON interchange
+	// format (what `cmd/tessel -placement/-save` reads and writes).
+	var buf bytes.Buffer
+	if err := tessel.EncodePlacement(&buf, p); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplacement JSON is %d bytes; first line:\n", buf.Len())
+	fmt.Println(firstLine(buf.String()))
+	if _, err := tessel.DecodePlacement(&buf); err != nil {
+		log.Fatal(err)
+	}
+
+	// Emit the per-device execution code for the searched schedule.
+	prog, err := tessel.Instantiate(res.Full, tessel.InstantiateOptions{NonBlocking: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, err := tessel.GenerateCode(prog, tessel.CodegenOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngenerated %d lines of per-device code (run with -codegen to save)\n",
+		countLines(code))
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func countLines(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+// GPT training with a 1M-token embedding vocabulary on 4 simulated V100s —
+// the paper's headline scenario (Figures 2, 8(a-c), 13).
+//
+// The example builds the M-shape placement that distributes the huge
+// embedding across all devices, searches a schedule, instantiates it with
+// non-blocking communication, and runs it on the simulated cluster; then it
+// does the same for the Piper-partitioned V-shape under 1F1B and for 1F1B+
+// on the same M-shape, reporting iteration time and aggregated PFLOPS.
+//
+//	go run ./examples/gpt_training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tessel"
+	"tessel/internal/baseline"
+	"tessel/internal/core"
+	"tessel/internal/model"
+	"tessel/internal/piper"
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+	"tessel/internal/sim"
+)
+
+func main() {
+	const gpus = 4
+	cfg := model.GPTConfigs[gpus]
+	cost := model.DefaultCostModel(gpus)
+	fmt.Printf("model: %s (%d layers, hidden %d, vocab %d) on %d GPUs\n",
+		cfg.Name, cfg.Layers, cfg.Hidden, cfg.Vocab, gpus)
+
+	micros := 128 / cost.MicroBatch
+	bytes := int64(cost.MicroBatch) * int64(cost.SeqLen) * int64(cfg.Hidden) * 2
+	simCfg := sim.DefaultConfig()
+	rt := runtime.Options{NonBlocking: true, Bytes: func(_, _ sched.Block) int64 { return bytes }}
+	flops := model.FLOPsPerIteration(cfg, cost.SeqLen, 128)
+	report := func(name string, s *tessel.Schedule) {
+		tr, err := sim.Simulate(s, rt, simCfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-8s iteration %6.2f s   %.3f PFLOPS   slowest-device wait %.1f%%\n",
+			name, float64(tr.Makespan)/1e6, flops/(float64(tr.Makespan)*1e-6)/1e15,
+			100*tr.WaitFraction(tr.SlowestDevice()))
+	}
+
+	// Tessel: M-shape placement + searched schedule.
+	mshape, err := model.GPTMShape(cfg, cost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avail := cost.DeviceMemMB - model.MShapeResidentMB(cfg, cost)
+	fmt.Printf("M-shape per-device work %d µs/micro-batch; activation budget %d MB\n\n",
+		mshape.LowerBound(), avail)
+	res, err := core.Search(mshape, core.Options{N: micros, Memory: avail})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("searched repetend: N_R=%d, period %d µs, bubble %.1f%%\n",
+		res.Repetend.NR, res.Repetend.Period, 100*res.BubbleRate)
+	report("Tessel", res.Full)
+
+	// 1F1B+ on the same placement.
+	plus, err := baseline.OneFOneBPlus(mshape, micros)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("1F1B+", plus)
+
+	// 1F1B on the Piper-partitioned V-shape.
+	layers := model.PiperLayers(cfg, cost)
+	plan, err := piper.Partition(layers, model.PipelineDepth, cost.DeviceMemMB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPiper V-shape: bottleneck stage %d µs, fastest %d µs (%.1f× imbalance)\n",
+		plan.Bottleneck, plan.FastestStage(), plan.Balance())
+	v := model.VShapeFromPlan(plan, layers, cost, cfg.Name)
+	ofb, err := baseline.OneFOneB(v, micros)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("1F1B", ofb)
+
+	// Chimera placement check.
+	if model.ChimeraOOM(cfg, cost) {
+		fmt.Println("Chimera   ×(OOM): two pipeline directions' parameters exceed device memory")
+	}
+}

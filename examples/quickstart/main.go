@@ -1,0 +1,43 @@
+// Quickstart: search a schedule for the classic 4-device pipeline and
+// compare it against the handcrafted 1F1B schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tessel"
+)
+
+func main() {
+	// A V-shape placement: forward stages f0..f3 on devices 0..3, backward
+	// stages in reverse, forward time 1, backward time 2 (the paper's
+	// Figure 1(a) setting).
+	p, err := tessel.NewVShape(tessel.ShapeConfig{Devices: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Search a schedule for 12 micro-batches with at most 4 in-flight
+	// activations per device.
+	res, err := tessel.Search(p, tessel.SearchOptions{N: 12, Memory: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Tessel found a repetend of %d micro-batches with period %d (lower bound %d)\n",
+		res.Repetend.NR, res.Repetend.Period, res.LowerBound)
+	fmt.Printf("steady-state bubble rate: %.1f%%\n", 100*res.BubbleRate)
+	fmt.Printf("full schedule makespan:  %d ticks for %d micro-batches\n\n", res.Makespan, res.N)
+	fmt.Print(tessel.Render(res.Full, tessel.RenderOptions{MaxWidth: 100}))
+
+	// The same workload under the predefined 1F1B schedule.
+	b, err := tessel.OneFOneB(p, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n1F1B makespan: %d (Tessel: %d)\n", b.Makespan(), res.Makespan)
+	fmt.Printf("1F1B steady bubble: %.1f%%, Tessel: %.1f%%\n",
+		100*tessel.SteadyBubble(b), 100*res.BubbleRate)
+}

@@ -1,0 +1,199 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"tessel/internal/baseline"
+	"tessel/internal/placement"
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+)
+
+func program(t *testing.T, nonBlocking bool) *runtime.Program {
+	t.Helper()
+	p, err := placement.VShape(placement.Config{Devices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.OneFOneB(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := runtime.Instantiate(s, runtime.Options{NonBlocking: nonBlocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestDeviceBlocking(t *testing.T) {
+	prog := program(t, false)
+	code, err := Device(prog, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"def run_device_1(model, mgr):",
+		"dist.send(",
+		"dist.recv(",
+		"model.block_f1(micro=0",
+		"model.block_b1(micro=1",
+		"mgr.wait(",
+	} {
+		if !strings.Contains(code, want) {
+			t.Fatalf("missing %q in:\n%s", want, code)
+		}
+	}
+	if strings.Contains(code, "isend") {
+		t.Fatal("blocking code used non-blocking primitives")
+	}
+}
+
+func TestDeviceNonBlocking(t *testing.T) {
+	prog := program(t, true)
+	code, err := Device(prog, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mgr.isend(", "mgr.irecv(", "mgr.wait("} {
+		if !strings.Contains(code, want) {
+			t.Fatalf("missing %q in:\n%s", want, code)
+		}
+	}
+	if strings.Contains(code, "dist.send(") {
+		t.Fatal("non-blocking code used blocking send")
+	}
+}
+
+func TestDeviceComputeOrderPreserved(t *testing.T) {
+	prog := program(t, true)
+	code, err := Device(prog, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 0 runs f0(m0), f0(m1), b0(m0), b0(m1) under 1F1B with D=3, n=2:
+	// verify every compute line appears and micro 0 precedes micro 1 per stage.
+	first := strings.Index(code, "model.block_f0(micro=0")
+	second := strings.Index(code, "model.block_f0(micro=1")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("forward order wrong in:\n%s", code)
+	}
+}
+
+func TestProgramModule(t *testing.T) {
+	prog := program(t, true)
+	code, err := Program(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"class MessageManager:",
+		"import torch.distributed as dist",
+		"def run_device_0(",
+		"def run_device_1(",
+		"def run_device_2(",
+		"DEVICE_FUNCS = [run_device_0, run_device_1, run_device_2]",
+		"non-blocking communication",
+	} {
+		if !strings.Contains(code, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestSendRecvVariablesMatch(t *testing.T) {
+	// Every tensor variable sent on one device is received (and awaited)
+	// under the same name on the peer — the cross-device contract.
+	prog := program(t, true)
+	var all strings.Builder
+	for d := 0; d < prog.P.NumDevices; d++ {
+		code, err := Device(prog, sched.DeviceID(d), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.WriteString(code)
+	}
+	text := all.String()
+	for _, line := range strings.Split(text, "\n") {
+		if idx := strings.Index(line, "mgr.isend(\""); idx >= 0 {
+			name := line[idx+len("mgr.isend(\""):]
+			name = name[:strings.Index(name, "\"")]
+			if !strings.Contains(text, "mgr.irecv(\""+name+"\"") {
+				t.Fatalf("sent tensor %q never received", name)
+			}
+			if !strings.Contains(text, "mgr.wait(\""+name+"\"") {
+				t.Fatalf("received tensor %q never awaited", name)
+			}
+		}
+	}
+}
+
+func TestTPBlockCodegen(t *testing.T) {
+	p, err := placement.MShape(placement.Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.OneFOneBPlus(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := runtime.Instantiate(s, runtime.Options{NonBlocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every device participates in the tensor-parallel embedding block.
+	for d := 0; d < 4; d++ {
+		code, err := Device(prog, sched.DeviceID(d), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(code, "model.block_emb_f(") {
+			t.Fatalf("device %d missing TP embedding call:\n%s", d, code)
+		}
+	}
+}
+
+func TestOptionsAndErrors(t *testing.T) {
+	prog := program(t, false)
+	code, err := Device(prog, 0, Options{FuncPrefix: "stage_", Package: "mylib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "def stage_0(") || !strings.Contains(code, "mylib") {
+		t.Fatalf("options ignored:\n%s", code)
+	}
+	if _, err := Device(prog, 99, Options{}); err == nil {
+		t.Fatal("out-of-range device accepted")
+	}
+	if _, err := Device(nil, 0, Options{}); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	if _, err := Program(nil, Options{}); err == nil {
+		t.Fatal("nil program accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("emb.f"); got != "emb_f" {
+		t.Fatalf("sanitize = %q", got)
+	}
+	if got := sanitize("ok_123"); got != "ok_123" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+func TestEmptyDevice(t *testing.T) {
+	p, err := placement.VShape(placement.Config{Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &runtime.Program{P: p, PerDevice: make([][]runtime.Op, 2)}
+	code, err := Device(prog, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "pass") {
+		t.Fatalf("empty device should emit pass:\n%s", code)
+	}
+}

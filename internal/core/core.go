@@ -1,0 +1,614 @@
+// Package core implements Tessel's schedule search (paper Algorithm 1 and
+// §IV): the sweep over repetend sizes N_R and micro-batch index assignments,
+// the lazy-search optimization of §V, schedule completion with time-optimal
+// warmup and cooldown phases (§IV-C), and the extension of the repetend to
+// any number of micro-batches.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tessel/internal/repetend"
+	"tessel/internal/sched"
+	"tessel/internal/solver"
+)
+
+// Default budgets. The schedule problem is NP-hard; budgets keep individual
+// solver calls bounded while the search still reaches the lower bound on the
+// paper's placements.
+const (
+	// DefaultMaxNR caps the repetend micro-batch sweep when memory does not
+	// bound it first (Figure 11 sweeps N_R up to 8).
+	DefaultMaxNR = 8
+	// DefaultMaxAssignments caps the per-N_R assignment enumeration.
+	DefaultMaxAssignments = 100000
+	// DefaultSolverNodes bounds each branch-and-bound solve.
+	DefaultSolverNodes = 400000
+)
+
+// Options configures a Search call. The zero value searches with unbounded
+// memory, default budgets, lazy search enabled, tight compaction, and a
+// final schedule of 3·N_R micro-batches.
+type Options struct {
+	// Memory is the per-device capacity M (0 = unbounded).
+	Memory int
+	// N is the number of micro-batches of the final schedule. 0 defaults to
+	// 3·N_R of the best repetend. If 0 < N < N_R the search falls back to a
+	// direct time-optimal solve of the whole problem.
+	N int
+	// MaxNR caps the repetend sweep; 0 uses min(MaxInflight, DefaultMaxNR).
+	MaxNR int
+	// MaxAssignments caps enumeration per N_R (0 = DefaultMaxAssignments).
+	MaxAssignments int
+	// SolverNodes bounds each exact solve (0 = DefaultSolverNodes).
+	SolverNodes int64
+	// SolverTimeout bounds each exact solve in wall time (0 = none).
+	SolverTimeout time.Duration
+	// DisableLazy turns off the lazy-search optimization (§V): warmup and
+	// cooldown are then solved time-optimally for every improving repetend
+	// instead of once at the end (the Figure 10(b) ablation).
+	DisableLazy bool
+	// SimpleCompaction evaluates repetends with Figure 6(a) semantics.
+	SimpleCompaction bool
+	// DisableLocalSearch turns off repetend order improvement.
+	DisableLocalSearch bool
+	// Workers sets the number of concurrent repetend solvers per N_R sweep
+	// (0 = GOMAXPROCS, 1 = fully sequential and deterministic).
+	Workers int
+}
+
+// PhaseDurations records where search time went (Figure 10(a)).
+type PhaseDurations struct {
+	Warmup   time.Duration
+	Repetend time.Duration
+	Cooldown time.Duration
+}
+
+// Stats reports search effort.
+type Stats struct {
+	// Assignments is the number of index assignments enumerated.
+	Assignments int
+	// Solved is the number of repetend instances solved.
+	Solved int
+	// Improved counts strict period improvements.
+	Improved int
+	// EarlyExit is true when the search hit the device-work lower bound and
+	// stopped (Algorithm 1 lines 19–20).
+	EarlyExit bool
+	// Truncated is true when an enumeration or solver budget was exhausted.
+	Truncated bool
+	// NRSwept is the largest N_R the sweep reached.
+	NRSwept int
+	// Phase breaks the search time down by phase.
+	Phase PhaseDurations
+	// Total is the wall-clock search time.
+	Total time.Duration
+}
+
+// Result is a completed Tessel search.
+type Result struct {
+	// Placement is the input operator placement strategy.
+	Placement *sched.Placement
+	// Repetend is the best repetend found.
+	Repetend *repetend.Repetend
+	// LowerBound is max_d of per-device work — the best possible period.
+	LowerBound int
+	// BubbleRate is the steady-state bubble rate of the repetend.
+	BubbleRate float64
+	// N is the number of micro-batches in the final schedule.
+	N int
+	// Warmup, Body and Cooldown are the three phases in absolute time; Full
+	// is their union covering exactly N micro-batches.
+	Warmup, Body, Cooldown, Full *sched.Schedule
+	// Makespan is Full's completion time.
+	Makespan int
+	// Stats reports search effort.
+	Stats Stats
+}
+
+func (o Options) withDefaults() Options {
+	if o.Memory == 0 {
+		o.Memory = sched.Unbounded
+	}
+	if o.MaxAssignments == 0 {
+		o.MaxAssignments = DefaultMaxAssignments
+	}
+	if o.SolverNodes == 0 {
+		o.SolverNodes = DefaultSolverNodes
+	}
+	return o
+}
+
+// MaxInflight returns the paper's CalMaxInflight: the largest number of
+// concurrently in-flight micro-batches the memory capacity admits, derived
+// from the per-device activation footprint of one micro-batch.
+func MaxInflight(p *sched.Placement, memory int) int {
+	if memory <= 0 || memory == sched.Unbounded {
+		return DefaultMaxNR
+	}
+	inflight := DefaultMaxNR
+	for d := 0; d < p.NumDevices; d++ {
+		act := 0
+		for _, i := range p.DeviceStages(sched.DeviceID(d)) {
+			if p.Stages[i].Mem > 0 {
+				act += p.Stages[i].Mem
+			}
+		}
+		if act == 0 {
+			continue
+		}
+		if f := memory / act; f < inflight {
+			inflight = f
+		}
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	return inflight
+}
+
+// Search runs Algorithm 1 for placement p: it sweeps repetend sizes and
+// index assignments, keeps the repetend with the smallest steady-state
+// period, completes warmup and cooldown phases, and extends the schedule to
+// opts.N micro-batches.
+func Search(p *sched.Placement, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	t0 := time.Now()
+	res := &Result{
+		Placement:  p,
+		LowerBound: p.LowerBound(),
+	}
+	maxNR := opts.MaxNR
+	if maxNR <= 0 {
+		maxNR = MaxInflight(p, opts.Memory)
+	}
+
+	var best *repetend.Repetend
+	repOpts := repetend.SolveOptions{
+		Memory:             opts.Memory,
+		SolverNodes:        opts.SolverNodes,
+		SolverTimeout:      opts.SolverTimeout,
+		SimpleCompaction:   opts.SimpleCompaction,
+		DisableLocalSearch: opts.DisableLocalSearch,
+	}
+
+	for nr := 1; nr <= maxNR; nr++ {
+		res.Stats.NRSwept = nr
+		var err error
+		best, err = sweepNR(p, nr, best, repOpts, opts, res)
+		if err != nil {
+			return nil, err
+		}
+		if res.Stats.EarlyExit {
+			break
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no feasible repetend for %s within memory %d and N_R ≤ %d", p.Name, opts.Memory, maxNR)
+	}
+	res.Repetend = best
+	res.BubbleRate = best.SteadyBubbleRate()
+
+	n := opts.N
+	if n == 0 {
+		n = 3 * best.NR
+	}
+	res.N = n
+	if err := completeSchedule(res, best, n, opts); err != nil {
+		return nil, err
+	}
+	res.Makespan = res.Full.Makespan()
+	res.Stats.Total = time.Since(t0)
+	return res, nil
+}
+
+// sweepNR enumerates and evaluates every canonical assignment for one
+// repetend size, fanning the solves out over a worker pool. It returns the
+// best repetend seen so far and sets Stats.EarlyExit when the device-work
+// lower bound is reached (Algorithm 1 lines 19–20). checkCompletion runs
+// serialized on the collector side, so phase timing stays consistent.
+func sweepNR(p *sched.Placement, nr int, best *repetend.Repetend, repOpts repetend.SolveOptions, opts Options, res *Result) (*repetend.Repetend, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		stop      atomic.Bool
+		solved    atomic.Int64
+		repNanos  atomic.Int64
+		assignCh  = make(chan repetend.Assignment, 4*workers)
+		resultCh  = make(chan *repetend.Repetend, 4*workers)
+		wg        sync.WaitGroup
+		truncated bool
+	)
+	if best != nil && best.Period == res.LowerBound {
+		res.Stats.EarlyExit = true
+		return best, nil
+	}
+	// Producer: enumerate canonical assignments under the budget.
+	go func() {
+		defer close(assignCh)
+		budget := opts.MaxAssignments
+		_, err := repetend.Enumerate(p, nr, func(a repetend.Assignment) bool {
+			if stop.Load() {
+				return false
+			}
+			res.Stats.Assignments++
+			budget--
+			if budget < 0 {
+				truncated = true
+				return false
+			}
+			assignCh <- a
+			return true
+		})
+		if err != nil {
+			// Placement was validated by Search; enumeration errors cannot
+			// occur here, but do not hang if they somehow do.
+			stop.Store(true)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range assignCh {
+				if stop.Load() {
+					continue // drain
+				}
+				t0 := time.Now()
+				r, err := repetend.Solve(p, a, repOpts)
+				repNanos.Add(int64(time.Since(t0)))
+				if err != nil {
+					continue // infeasible assignment
+				}
+				solved.Add(1)
+				resultCh <- r
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resultCh)
+	}()
+	var firstErr error
+	for r := range resultCh {
+		if firstErr != nil || (best != nil && r.Period >= best.Period) {
+			continue
+		}
+		ok, err := checkCompletion(p, r, opts, &res.Stats)
+		if err != nil {
+			firstErr = err
+			stop.Store(true)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		best = r
+		res.Stats.Improved++
+		if best.Period == res.LowerBound {
+			res.Stats.EarlyExit = true
+			stop.Store(true)
+		}
+	}
+	res.Stats.Solved += int(solved.Load())
+	res.Stats.Phase.Repetend += time.Duration(repNanos.Load())
+	if truncated {
+		res.Stats.Truncated = true
+	}
+	return best, firstErr
+}
+
+// Extend rebuilds the warmup/body/cooldown composition of a completed
+// search for a different number of micro-batches without re-running the
+// repetend sweep — the schedule-generalization property of §III-C ("it is
+// possible to extend the repetend schedule to accommodate any number of
+// micro-batches"). Memory and solver budgets come from opts, which should
+// normally match the original search.
+func Extend(res *Result, n int, opts Options) (*Result, error) {
+	if res == nil || res.Repetend == nil {
+		return nil, fmt.Errorf("core: Extend needs a completed search result")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: Extend needs a positive micro-batch count, got %d", n)
+	}
+	opts = opts.withDefaults()
+	out := &Result{
+		Placement:  res.Placement,
+		Repetend:   res.Repetend,
+		LowerBound: res.LowerBound,
+		BubbleRate: res.BubbleRate,
+		N:          n,
+	}
+	if err := completeSchedule(out, res.Repetend, n, opts); err != nil {
+		return nil, err
+	}
+	out.Makespan = out.Full.Makespan()
+	return out, nil
+}
+
+// warmupBlocks returns {B^n_i : n < r_i} (Equation 5).
+func warmupBlocks(p *sched.Placement, a repetend.Assignment) []sched.Block {
+	var blocks []sched.Block
+	for i := range p.Stages {
+		for n := 0; n < a[i]; n++ {
+			blocks = append(blocks, sched.Block{Stage: i, Micro: n})
+		}
+	}
+	return blocks
+}
+
+// cooldownBlocks returns {B^n_i : r_i + reps ≤ n < N} — Equation 6
+// generalized from reps = 1 (N = N_R) to the extended schedule.
+func cooldownBlocks(p *sched.Placement, a repetend.Assignment, reps, n int) []sched.Block {
+	var blocks []sched.Block
+	for i := range p.Stages {
+		for m := a[i] + reps; m < n; m++ {
+			blocks = append(blocks, sched.Block{Stage: i, Micro: m})
+		}
+	}
+	return blocks
+}
+
+// checkCompletion implements the lazy-search gate: when lazy search is on,
+// it only asks the solver whether valid warmup and cooldown schedules exist
+// (satisfiability); otherwise it solves them time-optimally — the two modes
+// of §V.
+func checkCompletion(p *sched.Placement, r *repetend.Repetend, opts Options, stats *Stats) (bool, error) {
+	warm := warmupBlocks(p, r.Assign)
+	cool := cooldownBlocks(p, r.Assign, 1, r.NR)
+	solveOpts := solver.Options{
+		NumDevices:  p.NumDevices,
+		Memory:      opts.Memory,
+		MaxNodes:    opts.SolverNodes,
+		Timeout:     opts.SolverTimeout,
+		SatisfyOnly: !opts.DisableLazy,
+	}
+	t0 := time.Now()
+	warmOK, err := phaseFeasible(p, warm, nil, nil, solveOpts)
+	stats.Phase.Warmup += time.Since(t0)
+	if err != nil || !warmOK {
+		return false, err
+	}
+	// The cooldown check runs with the post-warmup/repetend memory state.
+	initMem := make([]int, p.NumDevices)
+	for i := range p.Stages {
+		for _, d := range p.Stages[i].Devices {
+			initMem[d] += (r.Assign[i] + 1) * p.Stages[i].Mem
+		}
+	}
+	t1 := time.Now()
+	coolOK, err := phaseFeasible(p, cool, initMem, nil, solveOpts)
+	stats.Phase.Cooldown += time.Since(t1)
+	if err != nil || !coolOK {
+		return false, err
+	}
+	return true, nil
+}
+
+func phaseFeasible(p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options) (bool, error) {
+	if len(blocks) == 0 {
+		return true, nil
+	}
+	tasks, err := solver.BuildTasks(p, blocks, nil)
+	if err != nil {
+		return false, err
+	}
+	opts.InitialMem = initMem
+	opts.DeviceReady = deviceReady
+	res, err := solver.Solve(tasks, opts)
+	if err != nil {
+		return false, err
+	}
+	return res.Feasible, nil
+}
+
+// complete builds the final N-micro-batch schedule around the repetend:
+// time-optimal warmup, R = N − N_R + 1 unrolled instances compacted against
+// the warmup, and a time-optimal cooldown released by repetend finishes.
+func completeSchedule(res *Result, r *repetend.Repetend, n int, opts Options) error {
+	p := res.Placement
+	if n < r.NR {
+		return completeDirect(res, n, opts)
+	}
+	reps := n - r.NR + 1
+
+	// Warmup: time-optimal solve from t=0.
+	warmStart := time.Now()
+	warm := warmupBlocks(p, r.Assign)
+	warmSched, warmFinish, err := solvePhase(p, warm, nil, nil, nil, opts)
+	res.Stats.Phase.Warmup += time.Since(warmStart)
+	if err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+
+	// Body offset δ: earliest start of instance 0 after the warmup, per
+	// device availability and warmup→body dependencies (tight compaction
+	// across the phase boundary).
+	delta := 0
+	lastW := make([]int, p.NumDevices)
+	for _, it := range warmSched.Items {
+		for _, d := range p.Stages[it.Stage].Devices {
+			if f := it.Start + p.Stages[it.Stage].Time; f > lastW[d] {
+				lastW[d] = f
+			}
+		}
+	}
+	for d := 0; d < p.NumDevices; d++ {
+		first := -1
+		for _, i := range p.DeviceStages(sched.DeviceID(d)) {
+			if first < 0 || r.Starts[i] < first {
+				first = r.Starts[i]
+			}
+		}
+		if first >= 0 && lastW[d]-first > delta {
+			delta = lastW[d] - first
+		}
+	}
+	for i, succs := range p.Deps {
+		for _, j := range succs {
+			lag := r.Assign[i] - r.Assign[j]
+			for k := 0; k < lag && k < reps; k++ {
+				pred := sched.Block{Stage: i, Micro: r.Assign[j] + k}
+				if f, ok := warmFinish[pred]; ok {
+					if need := f - (r.Starts[j] + k*r.Period); need > delta {
+						delta = need
+					}
+				}
+			}
+		}
+	}
+
+	// Body: unrolled instances at offset delta.
+	body := r.Unroll(reps).Shift(delta)
+
+	// Cooldown: released by warmup/body finishes.
+	coolStart := time.Now()
+	cool := cooldownBlocks(p, r.Assign, reps, n)
+	bodyFinish := make(map[sched.Block]int, body.Len())
+	deviceReady := append([]int(nil), lastW...)
+	for _, it := range body.Items {
+		f := it.Start + p.Stages[it.Stage].Time
+		bodyFinish[it.Block] = f
+		for _, d := range p.Stages[it.Stage].Devices {
+			if f > deviceReady[d] {
+				deviceReady[d] = f
+			}
+		}
+	}
+	releases := map[sched.Block]int{}
+	coolSet := map[sched.Block]bool{}
+	for _, b := range cool {
+		coolSet[b] = true
+	}
+	for i, succs := range p.Deps {
+		for _, j := range succs {
+			for m := 0; m < n; m++ {
+				succ := sched.Block{Stage: j, Micro: m}
+				if !coolSet[succ] {
+					continue
+				}
+				pred := sched.Block{Stage: i, Micro: m}
+				if coolSet[pred] {
+					continue // handled as a solver dependency
+				}
+				var f int
+				if bf, ok := bodyFinish[pred]; ok {
+					f = bf
+				} else if wf, ok := warmFinish[pred]; ok {
+					f = wf
+				} else {
+					return fmt.Errorf("cooldown block %v: predecessor %v not scheduled", succ, pred)
+				}
+				if f > releases[succ] {
+					releases[succ] = f
+				}
+			}
+		}
+	}
+	initMem := make([]int, p.NumDevices)
+	for i := range p.Stages {
+		for _, d := range p.Stages[i].Devices {
+			initMem[d] += (r.Assign[i] + reps) * p.Stages[i].Mem
+		}
+	}
+	coolSched, _, err := solvePhase(p, cool, releases, initMem, deviceReady, opts)
+	res.Stats.Phase.Cooldown += time.Since(coolStart)
+	if err != nil {
+		return fmt.Errorf("cooldown: %w", err)
+	}
+
+	full := warmSched.Clone()
+	full.Append(body)
+	full.Append(coolSched)
+	full.Sort()
+	if err := full.Validate(sched.ValidateOptions{Memory: opts.Memory}); err != nil {
+		return fmt.Errorf("completed schedule invalid: %w", err)
+	}
+	res.Warmup, res.Body, res.Cooldown, res.Full = warmSched, body, coolSched, full
+	return nil
+}
+
+// completeDirect handles N < N_R with a whole-problem time-optimal solve.
+func completeDirect(res *Result, n int, opts Options) error {
+	full, _, err := TimeOptimal(res.Placement, n, opts)
+	if err != nil {
+		return err
+	}
+	res.Warmup = sched.NewSchedule(res.Placement)
+	res.Body = full
+	res.Cooldown = sched.NewSchedule(res.Placement)
+	res.Full = full
+	return nil
+}
+
+// solvePhase runs a time-optimal solve of the given blocks and returns the
+// schedule plus a finish-time index.
+func solvePhase(p *sched.Placement, blocks []sched.Block, releases map[sched.Block]int, initMem, deviceReady []int, opts Options) (*sched.Schedule, map[sched.Block]int, error) {
+	if len(blocks) == 0 {
+		return sched.NewSchedule(p), map[sched.Block]int{}, nil
+	}
+	tasks, err := solver.BuildTasks(p, blocks, releases)
+	if err != nil {
+		return nil, nil, err
+	}
+	sres, err := solver.Solve(tasks, solver.Options{
+		NumDevices:  p.NumDevices,
+		Memory:      opts.Memory,
+		InitialMem:  initMem,
+		DeviceReady: deviceReady,
+		MaxNodes:    opts.SolverNodes,
+		Timeout:     opts.SolverTimeout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !sres.Feasible {
+		return nil, nil, errors.New("phase infeasible")
+	}
+	s, err := solver.ToSchedule(p, tasks, sres)
+	if err != nil {
+		return nil, nil, err
+	}
+	finish := make(map[sched.Block]int, len(tasks))
+	for i, task := range tasks {
+		finish[task.ID] = sres.Starts[i] + task.Time
+	}
+	return s, finish, nil
+}
+
+// TimeOptimal solves the whole N-micro-batch problem exactly — the "TO"
+// baseline of §III-B (Figure 3) and the search-cost comparison of Figure 9.
+func TimeOptimal(p *sched.Placement, n int, opts Options) (*sched.Schedule, solver.Result, error) {
+	opts = opts.withDefaults()
+	tasks, err := solver.BuildTasks(p, solver.AllBlocks(p, n), nil)
+	if err != nil {
+		return nil, solver.Result{}, err
+	}
+	res, err := solver.Solve(tasks, solver.Options{
+		NumDevices: p.NumDevices,
+		Memory:     opts.Memory,
+		MaxNodes:   opts.SolverNodes,
+		Timeout:    opts.SolverTimeout,
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	if !res.Feasible {
+		return nil, res, fmt.Errorf("time-optimal solve infeasible for %s with %d micro-batches", p.Name, n)
+	}
+	s, err := solver.ToSchedule(p, tasks, res)
+	if err != nil {
+		return nil, res, err
+	}
+	return s, res, nil
+}

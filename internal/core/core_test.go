@@ -1,0 +1,373 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tessel/internal/placement"
+	"tessel/internal/sched"
+)
+
+func shape(t *testing.T, name string, d int) *sched.Placement {
+	t.Helper()
+	shapes, err := placement.Shapes(placement.Config{Devices: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := shapes[name]
+	if !ok {
+		t.Fatalf("unknown shape %s", name)
+	}
+	return p
+}
+
+// checkFull verifies the completed schedule covers each of the N×K blocks
+// exactly once and passes full validation.
+func checkFull(t *testing.T, res *Result, memory int) {
+	t.Helper()
+	p := res.Placement
+	if res.Full.Len() != res.N*p.K() {
+		t.Fatalf("full schedule has %d items, want %d", res.Full.Len(), res.N*p.K())
+	}
+	seen := map[sched.Block]bool{}
+	for _, it := range res.Full.Items {
+		if seen[it.Block] {
+			t.Fatalf("block %v scheduled twice", it.Block)
+		}
+		seen[it.Block] = true
+		if it.Micro < 0 || it.Micro >= res.N {
+			t.Fatalf("block %v outside micro range [0,%d)", it.Block, res.N)
+		}
+	}
+	if memory == 0 {
+		memory = sched.Unbounded
+	}
+	if err := res.Full.Validate(sched.ValidateOptions{Memory: memory}); err != nil {
+		t.Fatalf("full schedule invalid: %v", err)
+	}
+}
+
+func TestSearchVShapeReachesLowerBound(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	res, err := Search(p, Options{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repetend.Period != res.LowerBound {
+		t.Fatalf("period %d != lower bound %d", res.Repetend.Period, res.LowerBound)
+	}
+	if res.BubbleRate != 0 {
+		t.Fatalf("bubble rate = %f, want 0", res.BubbleRate)
+	}
+	// Figure 11: V-shape needs N_R = D = 4 micro-batches for zero bubble.
+	if res.Repetend.NR != 4 {
+		t.Fatalf("NR = %d, want 4", res.Repetend.NR)
+	}
+	if !res.Stats.EarlyExit {
+		t.Fatal("expected early exit at lower bound")
+	}
+	checkFull(t, res, 0)
+}
+
+func TestSearchKShapeReachesLowerBound(t *testing.T) {
+	p := shape(t, "k-shape", 4)
+	res, err := Search(p, Options{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repetend.Period != res.LowerBound {
+		t.Fatalf("period %d != lower bound %d", res.Repetend.Period, res.LowerBound)
+	}
+	checkFull(t, res, 0)
+}
+
+func TestSearchMShapeReachesLowerBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("m-shape sweep is slow in -short mode")
+	}
+	p := shape(t, "m-shape", 4)
+	res, err := Search(p, Options{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repetend.Period != res.LowerBound {
+		t.Fatalf("period %d != lower bound %d (NR swept %d)", res.Repetend.Period, res.LowerBound, res.Stats.NRSwept)
+	}
+	checkFull(t, res, 0)
+}
+
+func TestSearchMemoryCapRespected(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	for _, mem := range []int{1, 2, 3} {
+		res, err := Search(p, Options{N: 6, Memory: mem})
+		if err != nil {
+			t.Fatalf("memory %d: %v", mem, err)
+		}
+		checkFull(t, res, mem)
+		peaks := res.Full.PeakMemory(nil)
+		for d, pk := range peaks {
+			if pk > mem {
+				t.Fatalf("memory %d: device %d peak %d", mem, d, pk)
+			}
+		}
+	}
+}
+
+func TestSearchBubbleMonotoneInMemory(t *testing.T) {
+	// Figure 12: lower memory capacity → larger (or equal) bubble rate.
+	p := shape(t, "v-shape", 4)
+	prev := 2.0
+	for _, mem := range []int{1, 2, 4} {
+		res, err := Search(p, Options{N: 6, Memory: mem})
+		if err != nil {
+			t.Fatalf("memory %d: %v", mem, err)
+		}
+		if res.BubbleRate > prev+1e-9 {
+			t.Fatalf("bubble rate increased with memory: %f at M=%d (prev %f)", res.BubbleRate, mem, prev)
+		}
+		prev = res.BubbleRate
+	}
+}
+
+func TestSearchBubbleMonotoneInNR(t *testing.T) {
+	// Figure 11: more repetend micro-batches → smaller (or equal) bubble.
+	p := shape(t, "v-shape", 4)
+	prev := 2.0
+	for nr := 1; nr <= 4; nr++ {
+		res, err := Search(p, Options{N: 6, MaxNR: nr})
+		if err != nil {
+			t.Fatalf("nr %d: %v", nr, err)
+		}
+		if res.BubbleRate > prev+1e-9 {
+			t.Fatalf("bubble rate increased with NR: %f at NR=%d (prev %f)", res.BubbleRate, nr, prev)
+		}
+		prev = res.BubbleRate
+	}
+}
+
+func TestSearchLazyMatchesEager(t *testing.T) {
+	// §V: lazy search "significantly reduces the overall search time
+	// without changing the searched results".
+	p := shape(t, "v-shape", 4)
+	lazy, err := Search(p, Options{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := Search(p, Options{N: 6, DisableLazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Repetend.Period != eager.Repetend.Period {
+		t.Fatalf("lazy period %d != eager period %d", lazy.Repetend.Period, eager.Repetend.Period)
+	}
+}
+
+func TestSearchSimpleCompactionNeverBetter(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	tight, err := Search(p, Options{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple, err := Search(p, Options{N: 6, SimpleCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simple.Repetend.Period < tight.Repetend.Period {
+		t.Fatalf("simple compaction period %d beats tight %d", simple.Repetend.Period, tight.Repetend.Period)
+	}
+	checkFull(t, simple, 0)
+}
+
+func TestSearchInferencePlacement(t *testing.T) {
+	p := placement.Inference(shape(t, "k-shape", 4))
+	res, err := Search(p, Options{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFull(t, res, 0)
+	if res.Repetend.Period < res.LowerBound {
+		t.Fatalf("period %d below lower bound %d", res.Repetend.Period, res.LowerBound)
+	}
+}
+
+func TestSearchSmallNFallsBackToTimeOptimal(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	res, err := Search(p, Options{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 2 {
+		t.Fatalf("N = %d", res.N)
+	}
+	checkFull(t, res, 0)
+}
+
+func TestSearchDefaultN(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	res, err := Search(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 3*res.Repetend.NR {
+		t.Fatalf("default N = %d, want %d", res.N, 3*res.Repetend.NR)
+	}
+	checkFull(t, res, 0)
+}
+
+func TestSearchRejectsInvalidPlacement(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	p.Stages[0].Time = 0
+	if _, err := Search(p, Options{}); err == nil {
+		t.Fatal("invalid placement accepted")
+	}
+}
+
+func TestMaxInflight(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	// Each device holds +1 activation per micro-batch.
+	if got := MaxInflight(p, 3); got != 3 {
+		t.Fatalf("MaxInflight(3) = %d, want 3", got)
+	}
+	if got := MaxInflight(p, 100); got != DefaultMaxNR {
+		t.Fatalf("MaxInflight(100) = %d, want cap %d", got, DefaultMaxNR)
+	}
+	if got := MaxInflight(p, sched.Unbounded); got != DefaultMaxNR {
+		t.Fatalf("unbounded = %d", got)
+	}
+	if got := MaxInflight(p, 0); got != DefaultMaxNR {
+		t.Fatalf("zero = %d", got)
+	}
+}
+
+func TestTimeOptimalMatchesKnownOptimum(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	s, res, err := TimeOptimal(p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain 12 + one extra micro-batch at bottleneck 3.
+	if res.Makespan != 15 {
+		t.Fatalf("makespan = %d, want 15", res.Makespan)
+	}
+	if err := s.Validate(sched.ValidateOptions{Memory: sched.Unbounded}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	res, err := Search(p, Options{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Assignments == 0 || st.Solved == 0 || st.Improved == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if st.Total <= 0 || st.Phase.Repetend <= 0 {
+		t.Fatalf("timings not populated: %+v", st)
+	}
+	if st.NRSwept < 1 {
+		t.Fatalf("NRSwept = %d", st.NRSwept)
+	}
+}
+
+// TestSearchPropertyFullAlwaysValid: across shapes, memory budgets and N,
+// the completed schedule always covers every block exactly once and
+// validates under the memory cap.
+func TestSearchPropertyFullAlwaysValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property search is slow in -short mode")
+	}
+	names := []string{"v-shape", "k-shape"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := shape(t, names[rng.Intn(len(names))], 4)
+		mem := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(10)
+		res, err := Search(p, Options{N: n, Memory: mem, MaxNR: 4})
+		if err != nil {
+			// Memory can be too tight for any repetend; that is a valid
+			// outcome, not a bug.
+			return true
+		}
+		if res.Full.Len() != res.N*p.K() {
+			t.Logf("seed %d: %d items, want %d", seed, res.Full.Len(), res.N*p.K())
+			return false
+		}
+		if err := res.Full.Validate(sched.ValidateOptions{Memory: mem}); err != nil {
+			t.Logf("seed %d (%s mem=%d n=%d): %v", seed, p.Name, mem, n, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchAssignmentBudgetTruncates(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	res, err := Search(p, Options{N: 6, MaxAssignments: 3, MaxNR: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated {
+		t.Fatal("expected truncation with a 3-assignment budget")
+	}
+	checkFull(t, res, 0)
+}
+
+func TestExtendToLargerN(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	res, err := Search(p, Options{N: 6, Memory: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{4, 6, 10, 20, 40} {
+		ext, err := Extend(res, n, Options{Memory: 4})
+		if err != nil {
+			t.Fatalf("extend to %d: %v", n, err)
+		}
+		if ext.N != n {
+			t.Fatalf("N = %d", ext.N)
+		}
+		checkFull(t, ext, 4)
+	}
+}
+
+func TestExtendMakespanGrowsByPeriod(t *testing.T) {
+	// §III-C: adding one micro-batch in the steady state adds exactly one
+	// repetend period to the makespan.
+	p := shape(t, "v-shape", 4)
+	res, err := Search(p, Options{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Extend(res, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extend(res, 21, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := b.Makespan - a.Makespan; delta != res.Repetend.Period {
+		t.Fatalf("makespan delta %d != period %d", delta, res.Repetend.Period)
+	}
+}
+
+func TestExtendErrors(t *testing.T) {
+	if _, err := Extend(nil, 5, Options{}); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	p := shape(t, "v-shape", 4)
+	res, err := Search(p, Options{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Extend(res, 0, Options{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

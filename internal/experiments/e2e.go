@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tessel/internal/baseline"
+	"tessel/internal/core"
+	"tessel/internal/model"
+	"tessel/internal/piper"
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+	"tessel/internal/sim"
+)
+
+// GlobalBatch is the training global batch size of §VI-D.
+const GlobalBatch = 128
+
+// SystemResult is one system's outcome at one cluster size.
+type SystemResult struct {
+	System string
+	// OOM marks out-of-memory failures (the "×" bars).
+	OOM bool
+	// IterUs is the simulated iteration time in microseconds.
+	IterUs int
+	// PFLOPS is the aggregated throughput metric of Figures 13/14.
+	PFLOPS float64
+	// Schedule and Trace expose the artifacts for the breakdown figures.
+	Schedule *sched.Schedule
+	Trace    *sim.Trace
+	// IdealWaitFrac is the schedule's own wait fraction at the slowest
+	// device — Figure 16's "theoretical estimation" (slashed region).
+	IdealWaitFrac float64
+}
+
+// E2EPoint is one cluster size of an end-to-end experiment.
+type E2EPoint struct {
+	GPUs    int
+	Config  model.TransformerConfig
+	Systems []SystemResult
+}
+
+// E2EResult is a full Figure 13 or Figure 14 sweep.
+type E2EResult struct {
+	Family string // "GPT" or "mT5"
+	Points []E2EPoint
+}
+
+// Systems is the presentation order of the end-to-end comparisons.
+var Systems = []string{"Tessel", "1F1B+", "1F1B", "Chimera"}
+
+var e2eCache sync.Map // key string → *E2EResult
+
+// runE2E builds, searches, instantiates and simulates every system for one
+// model family across the cluster sizes. Results are cached per (family,
+// mode) since Figures 13/14, 16 and 17 share them.
+func runE2E(family string, m Mode) (*E2EResult, error) {
+	key := fmt.Sprintf("%s-%v", family, m.Quick)
+	if v, ok := e2eCache.Load(key); ok {
+		return v.(*E2EResult), nil
+	}
+	configs := model.GPTConfigs
+	if family == "mT5" {
+		configs = model.MT5Configs
+	}
+	counts := model.GPUCounts
+	if m.Quick {
+		counts = []int{4, 16}
+	}
+	res := &E2EResult{Family: family}
+	for _, gpus := range counts {
+		cfg := configs[gpus]
+		cost := model.DefaultCostModel(gpus)
+		point := E2EPoint{GPUs: gpus, Config: cfg}
+		advanced, err := advancedPlacement(family, cfg, cost)
+		if err != nil {
+			return nil, fmt.Errorf("e2e %s %dGPUs: %w", family, gpus, err)
+		}
+		micros := GlobalBatch / cost.MicroBatch
+		bytes := tensorBytes(cfg, cost)
+		simCfg := sim.DefaultConfig()
+		simCfg.GPUsPerStage = gpus / model.PipelineDepth
+		avail := availActivationMB(family, cfg, cost)
+
+		for _, system := range Systems {
+			sr := SystemResult{System: system}
+			var s *sched.Schedule
+			var err error
+			switch system {
+			case "Tessel":
+				if avail <= 0 {
+					sr.OOM = true
+					break
+				}
+				opts := searchOpts(m.Quick)
+				opts.N = micros
+				opts.Memory = avail
+				var cres *core.Result
+				cres, err = core.Search(advanced, opts)
+				if err == nil {
+					s = cres.Full
+				}
+			case "1F1B+":
+				if avail <= 0 {
+					sr.OOM = true
+					break
+				}
+				s, err = baseline.OneFOneBPlus(advanced, micros)
+			case "1F1B":
+				layers := model.PiperLayers(cfg, cost)
+				width := gpus / model.PipelineDepth
+				if width < 1 {
+					width = 1
+				}
+				plan, perr := piper.Partition(layers, model.PipelineDepth, cost.DeviceMemMB*width)
+				if perr != nil {
+					sr.OOM = true
+					break
+				}
+				v := model.VShapeFromPlan(plan, layers, cost, cfg.Name)
+				s, err = baseline.OneFOneB(v, micros)
+			case "Chimera":
+				if model.ChimeraOOM(cfg, cost) {
+					sr.OOM = true
+					break
+				}
+				var x *sched.Placement
+				x, err = model.XShapeFor(cfg, cost)
+				if err == nil {
+					s, err = baseline.ChimeraDirect(x, micros)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("e2e %s %s %dGPUs: %w", family, system, gpus, err)
+			}
+			if !sr.OOM && s != nil {
+				tr, err := sim.Simulate(s, runtime.Options{
+					NonBlocking: true,
+					Bytes:       func(_, _ sched.Block) int64 { return bytes },
+				}, simCfg)
+				if err != nil {
+					return nil, fmt.Errorf("e2e sim %s %s %dGPUs: %w", family, system, gpus, err)
+				}
+				sr.Schedule = s
+				sr.Trace = tr
+				sr.IterUs = tr.Makespan
+				flops := model.FLOPsPerIteration(cfg, cost.SeqLen, GlobalBatch)
+				sr.PFLOPS = flops / (float64(tr.Makespan) * 1e-6) / 1e15
+				sr.IdealWaitFrac = scheduleWaitFrac(s, tr.SlowestDevice())
+			}
+			point.Systems = append(point.Systems, sr)
+		}
+		res.Points = append(res.Points, point)
+	}
+	e2eCache.Store(key, res)
+	return res, nil
+}
+
+func advancedPlacement(family string, cfg model.TransformerConfig, cost model.CostModel) (*sched.Placement, error) {
+	if family == "mT5" {
+		return model.MT5NNShape(cfg, cost)
+	}
+	return model.GPTMShape(cfg, cost)
+}
+
+// tensorBytes is the inter-stage activation size: micro-batch × seq × hidden
+// × 2 bytes (fp16).
+func tensorBytes(cfg model.TransformerConfig, cost model.CostModel) int64 {
+	return int64(cost.MicroBatch) * int64(cost.SeqLen) * int64(cfg.Hidden) * 2
+}
+
+// availActivationMB is the per-stage memory available for activations after
+// resident parameters, in the placement's Mem units.
+func availActivationMB(family string, cfg model.TransformerConfig, cost model.CostModel) int {
+	width := cost.GPUs / model.PipelineDepth
+	if width < 1 {
+		width = 1
+	}
+	_ = family // M- and NN-shapes have the same per-stage layer share
+	return cost.DeviceMemMB*width - model.MShapeResidentMB(cfg, cost)
+}
+
+// scheduleWaitFrac computes the schedule's idealized wait fraction at a
+// device (no communication): 1 − busy / makespan-extent.
+func scheduleWaitFrac(s *sched.Schedule, d sched.DeviceID) float64 {
+	items := s.DeviceItems(d)
+	if len(items) == 0 {
+		return 0
+	}
+	busy := 0
+	for _, it := range items {
+		busy += s.P.Stages[it.Stage].Time
+	}
+	span := items[len(items)-1].Start + s.P.Stages[items[len(items)-1].Stage].Time - items[0].Start
+	if span <= 0 {
+		return 0
+	}
+	return 1 - float64(busy)/float64(span)
+}
+
+// Fig13 reproduces Figure 13: GPT end-to-end training throughput.
+func Fig13(m Mode) (*E2EResult, error) { return runE2E("GPT", m) }
+
+// Fig14 reproduces Figure 14: mT5 end-to-end training throughput.
+func Fig14(m Mode) (*E2EResult, error) { return runE2E("mT5", m) }
+
+// String prints the PFLOPS bars of Figures 13/14.
+func (r *E2EResult) String() string {
+	var b strings.Builder
+	fig := "Figure 13"
+	if r.Family == "mT5" {
+		fig = "Figure 14"
+	}
+	b.WriteString(header(fmt.Sprintf("%s: %s end-to-end training throughput (PFLOPS)", fig, r.Family)))
+	fmt.Fprintf(&b, "%-6s %-10s", "GPUs", "config")
+	for _, sys := range Systems {
+		fmt.Fprintf(&b, " %-10s", sys)
+	}
+	b.WriteString("\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-6d %-10s", pt.GPUs, pt.Config.Name)
+		for _, sr := range pt.Systems {
+			if sr.OOM {
+				fmt.Fprintf(&b, " %-10s", "×(OOM)")
+			} else {
+				fmt.Fprintf(&b, " %-10.3f", sr.PFLOPS)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Speedup returns Tessel's throughput ratio over the named system at the
+// given point index, or 0 when either failed.
+func (r *E2EResult) Speedup(pointIdx int, over string) float64 {
+	if pointIdx >= len(r.Points) {
+		return 0
+	}
+	var tessel, other float64
+	for _, sr := range r.Points[pointIdx].Systems {
+		if sr.OOM {
+			continue
+		}
+		switch sr.System {
+		case "Tessel":
+			tessel = sr.PFLOPS
+		case over:
+			other = sr.PFLOPS
+		}
+	}
+	if other == 0 {
+		return 0
+	}
+	return tessel / other
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tessel/internal/core"
+)
+
+// Fig11Result holds bubble rate as a function of the repetend micro-batch
+// count N_R for each placement shape (memory unconstrained).
+type Fig11Result struct {
+	NRs    []int
+	Series map[string][]float64 // shape name → bubble per NR point
+}
+
+// Fig11 reproduces Figure 11. Bubble rates are monotone non-increasing in
+// N_R, so once a shape reaches zero the remaining points are filled without
+// re-searching.
+func Fig11(m Mode) (*Fig11Result, error) {
+	shapes := UnitShapes()
+	maxNR := 8
+	if m.Quick {
+		maxNR = 4
+	}
+	res := &Fig11Result{Series: map[string][]float64{}}
+	for nr := 1; nr <= maxNR; nr++ {
+		res.NRs = append(res.NRs, nr)
+	}
+	for _, name := range ShapeOrder {
+		p := shapes[name]
+		series := make([]float64, 0, maxNR)
+		done := false
+		for nr := 1; nr <= maxNR; nr++ {
+			if done {
+				series = append(series, 0)
+				continue
+			}
+			opts := searchOpts(m.Quick)
+			opts.MaxNR = nr
+			sres, err := core.Search(p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig11: %s nr=%d: %w", name, nr, err)
+			}
+			series = append(series, sres.BubbleRate)
+			if sres.BubbleRate == 0 {
+				done = true
+			}
+		}
+		res.Series[name] = series
+	}
+	return res, nil
+}
+
+// String prints the Figure 11 series.
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 11: bubble rate vs repetend micro-batches N_R (unbounded memory)"))
+	fmt.Fprintf(&b, "%-10s", "shape")
+	for _, nr := range r.NRs {
+		fmt.Fprintf(&b, " NR=%-5d", nr)
+	}
+	b.WriteString("\n")
+	for _, name := range ShapeOrder {
+		fmt.Fprintf(&b, "%-10s", name)
+		for _, v := range r.Series[name] {
+			fmt.Fprintf(&b, " %-8.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig12Result holds bubble rate as a function of the per-device memory
+// capacity M (forward +1 / backward −1 per block).
+type Fig12Result struct {
+	Capacities []int
+	Series     map[string][]float64
+	// ZeroNR records the starting N_R that reaches zero bubble with
+	// unconstrained memory (the Figure 12 protocol keeps it fixed).
+	ZeroNR map[string]int
+}
+
+// Fig12 reproduces Figure 12: for each shape, keep the N_R that first
+// achieves zero bubble under unbounded memory, then sweep the memory
+// capacity M and record the bubble rate. Infeasible capacities (no repetend
+// fits) report bubble 1.0.
+func Fig12(m Mode) (*Fig12Result, error) {
+	shapes := UnitShapes()
+	capacities := []int{1, 3, 5, 7, 9, 11, 13, 15, 17}
+	maxNR := 8
+	if m.Quick {
+		capacities = []int{1, 5, 9}
+		maxNR = 4
+	}
+	res := &Fig12Result{Capacities: capacities, Series: map[string][]float64{}, ZeroNR: map[string]int{}}
+	for _, name := range ShapeOrder {
+		p := shapes[name]
+		// Find the zero-bubble N_R under unbounded memory.
+		zeroNR := maxNR
+		for nr := 1; nr <= maxNR; nr++ {
+			opts := searchOpts(m.Quick)
+			opts.MaxNR = nr
+			sres, err := core.Search(p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig12: %s nr=%d: %w", name, nr, err)
+			}
+			if sres.BubbleRate == 0 {
+				zeroNR = nr
+				break
+			}
+		}
+		res.ZeroNR[name] = zeroNR
+		series := make([]float64, 0, len(capacities))
+		for _, cap := range capacities {
+			opts := searchOpts(m.Quick)
+			opts.MaxNR = zeroNR
+			opts.Memory = cap
+			sres, err := core.Search(p, opts)
+			if err != nil {
+				// Memory too tight for any repetend: full bubble.
+				series = append(series, 1)
+				continue
+			}
+			series = append(series, sres.BubbleRate)
+		}
+		res.Series[name] = series
+	}
+	return res, nil
+}
+
+// String prints the Figure 12 series.
+func (r *Fig12Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 12: bubble rate vs memory capacity M (fwd +1 / bwd −1)"))
+	fmt.Fprintf(&b, "%-10s %-7s", "shape", "NR")
+	for _, c := range r.Capacities {
+		fmt.Fprintf(&b, " M=%-6d", c)
+	}
+	b.WriteString("\n")
+	for _, name := range ShapeOrder {
+		fmt.Fprintf(&b, "%-10s %-7d", name, r.ZeroNR[name])
+		for _, v := range r.Series[name] {
+			fmt.Fprintf(&b, " %-8.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

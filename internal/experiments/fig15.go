@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tessel/internal/baseline"
+	"tessel/internal/core"
+	"tessel/internal/model"
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+	"tessel/internal/sim"
+)
+
+// LatencyBudgetUs is the 400 ms inference latency budget of §VI-D.
+const LatencyBudgetUs = 400_000
+
+// Fig15Point is one micro-batch count of Figure 15: latency and throughput
+// for the three inference systems.
+type Fig15Point struct {
+	MicroBatches int
+	// LatencyUs / Throughput (requests per second) per system, keyed as
+	// "1F1B", "TP", "Tessel".
+	LatencyUs  map[string]int
+	Throughput map[string]float64
+}
+
+// Fig15Result is the Flava inference study.
+type Fig15Result struct {
+	Points []Fig15Point
+}
+
+// Fig15Systems is the presentation order of the inference comparison.
+var Fig15Systems = []string{"1F1B", "TP", "Tessel"}
+
+func flavaCost() model.CostModel {
+	c := model.DefaultCostModel(model.PipelineDepth)
+	// Inference: single-sequence micro-batches, no recompute.
+	c.MicroBatch = 1
+	c.SeqLen = 512
+	c.Recompute = false
+	return c
+}
+
+func flavaKShape(c model.CostModel) (*sched.Placement, error) {
+	return model.FlavaKShape(c)
+}
+
+func flavaVShape(c model.CostModel) (*sched.Placement, error) {
+	return model.FlavaSequentialVShape(c)
+}
+
+// Fig15 reproduces Figure 15: Flava (24 layers, 4096 hidden) inference on 4
+// GPUs. 1F1B runs branches sequentially in a V-shape pipeline, TP shards
+// every operator across all devices, and Tessel schedules the searched
+// K-shape placement. Latency is the completion time of all micro-batches;
+// throughput counts one request per micro-batch.
+func Fig15(m Mode) (*Fig15Result, error) {
+	cost := flavaCost()
+	kshape, err := flavaKShape(cost)
+	if err != nil {
+		return nil, err
+	}
+	vshape, err := flavaVShape(cost)
+	if err != nil {
+		return nil, err
+	}
+	tp := baseline.TensorParallelPlacement(vshape, 130)
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	if m.Quick {
+		counts = []int{1, 4, 16}
+	}
+	simCfg := sim.DefaultConfig()
+	res := &Fig15Result{}
+	for _, n := range counts {
+		pt := Fig15Point{
+			MicroBatches: n,
+			LatencyUs:    map[string]int{},
+			Throughput:   map[string]float64{},
+		}
+		run := func(name string, s *sched.Schedule) error {
+			tr, err := sim.Simulate(s, runtime.Options{NonBlocking: true}, simCfg)
+			if err != nil {
+				return fmt.Errorf("fig15: %s n=%d: %w", name, n, err)
+			}
+			pt.LatencyUs[name] = tr.Makespan
+			pt.Throughput[name] = float64(n) / (float64(tr.Makespan) * 1e-6)
+			return nil
+		}
+		// 1F1B degenerates to pipelined forwards on the inference V-shape.
+		s1, err := baseline.GPipe(vshape, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := run("1F1B", s1); err != nil {
+			return nil, err
+		}
+		s2, err := baseline.Sequential(tp, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := run("TP", s2); err != nil {
+			return nil, err
+		}
+		opts := searchOpts(m.Quick)
+		opts.N = n
+		cres, err := core.Search(kshape, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig15: tessel n=%d: %w", n, err)
+		}
+		if err := run("Tessel", cres.Full); err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// String prints the Figure 15 latency/throughput trade-off.
+func (r *Fig15Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 15: Flava inference on 4 GPUs (400 ms latency budget)"))
+	fmt.Fprintf(&b, "%-6s", "nmb")
+	for _, sys := range Fig15Systems {
+		fmt.Fprintf(&b, " %-22s", sys+" lat(ms)/thr(req/s)")
+	}
+	b.WriteString("\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-6d", pt.MicroBatches)
+		for _, sys := range Fig15Systems {
+			lat := float64(pt.LatencyUs[sys]) / 1000
+			mark := ""
+			if pt.LatencyUs[sys] > LatencyBudgetUs {
+				mark = "!"
+			}
+			fmt.Fprintf(&b, " %-22s", fmt.Sprintf("%.1f%s / %.1f", lat, mark, pt.Throughput[sys]))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("('!' marks latency above the 400 ms budget)\n")
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tessel/internal/model"
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+	"tessel/internal/sim"
+)
+
+// Fig16Row is one bar group of Figure 16: block execution time at the
+// slowest stage and the device wait-time occupation (measured vs the
+// schedule's theoretical estimate).
+type Fig16Row struct {
+	Family   string
+	GPUs     int
+	System   string
+	OOM      bool
+	ExecSec  float64 // block execution time at the slowest device, seconds
+	WaitFrac float64 // measured wait occupation at that device
+	Ideal    float64 // theoretical estimation from the schedule
+}
+
+// Fig16Result is the runtime performance breakdown.
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Fig16 reproduces Figure 16 from the Figures 13/14 artifacts: (a) block
+// execution time, (b) wait-time occupation with the theoretical estimate.
+func Fig16(m Mode) (*Fig16Result, error) {
+	res := &Fig16Result{}
+	for _, family := range []string{"GPT", "mT5"} {
+		e2e, err := runE2E(family, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range e2e.Points {
+			for _, sr := range pt.Systems {
+				if sr.System == "Chimera" {
+					continue // Figure 16 compares 1F1B, 1F1B+ and Tessel
+				}
+				row := Fig16Row{Family: family, GPUs: pt.GPUs, System: sr.System, OOM: sr.OOM}
+				if !sr.OOM && sr.Trace != nil {
+					d := sr.Trace.SlowestDevice()
+					row.ExecSec = float64(sr.Trace.ComputeBusy[d]) / 1e6
+					row.WaitFrac = sr.Trace.WaitFraction(d)
+					row.Ideal = sr.IdealWaitFrac
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// String prints the Figure 16 rows.
+func (r *Fig16Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 16: runtime breakdown at the slowest stage"))
+	fmt.Fprintf(&b, "%-6s %-6s %-8s %-12s %-10s %s\n",
+		"model", "GPUs", "system", "exec (s)", "wait", "theory")
+	for _, row := range r.Rows {
+		if row.OOM {
+			fmt.Fprintf(&b, "%-6s %-6d %-8s %-12s %-10s %s\n",
+				row.Family, row.GPUs, row.System, "×(OOM)", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-6s %-6d %-8s %-12.1f %-10s %s\n",
+			row.Family, row.GPUs, row.System, row.ExecSec, pct(row.WaitFrac), pct(row.Ideal))
+	}
+	return b.String()
+}
+
+// Fig17Row compares blocking vs non-blocking communication for the Tessel
+// schedule of one model/cluster point.
+type Fig17Row struct {
+	Family      string
+	GPUs        int
+	BlockingSec float64
+	NonBlockSec float64
+	SpeedupX    float64
+}
+
+// Fig17Result is the communication-mode ablation.
+type Fig17Result struct {
+	Rows []Fig17Row
+}
+
+// Fig17 reproduces Figure 17: end-to-end training time of the searched
+// GPT (M-shape) and mT5 (NN-shape) schedules under blocking vs non-blocking
+// communication.
+func Fig17(m Mode) (*Fig17Result, error) {
+	res := &Fig17Result{}
+	for _, family := range []string{"GPT", "mT5"} {
+		e2e, err := runE2E(family, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range e2e.Points {
+			var tessel *SystemResult
+			for i := range pt.Systems {
+				if pt.Systems[i].System == "Tessel" && !pt.Systems[i].OOM {
+					tessel = &pt.Systems[i]
+				}
+			}
+			if tessel == nil {
+				continue
+			}
+			cost := model.DefaultCostModel(pt.GPUs)
+			bytes := tensorBytes(pt.Config, cost)
+			simCfg := sim.DefaultConfig()
+			simCfg.GPUsPerStage = pt.GPUs / model.PipelineDepth
+			blocking, err := sim.Simulate(tessel.Schedule, runtime.Options{
+				Bytes: func(_, _ sched.Block) int64 { return bytes },
+			}, simCfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig17: %s %dGPUs: %w", family, pt.GPUs, err)
+			}
+			row := Fig17Row{
+				Family:      family,
+				GPUs:        pt.GPUs,
+				BlockingSec: float64(blocking.Makespan) / 1e6,
+				NonBlockSec: float64(tessel.IterUs) / 1e6,
+			}
+			if tessel.IterUs > 0 {
+				row.SpeedupX = float64(blocking.Makespan) / float64(tessel.IterUs)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// String prints the Figure 17 rows.
+func (r *Fig17Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 17: blocking vs non-blocking communication (Tessel schedules)"))
+	fmt.Fprintf(&b, "%-6s %-6s %-14s %-14s %s\n", "model", "GPUs", "blocking (s)", "non-block (s)", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6s %-6d %-14.1f %-14.1f %.2fx\n",
+			row.Family, row.GPUs, row.BlockingSec, row.NonBlockSec, row.SpeedupX)
+	}
+	return b.String()
+}

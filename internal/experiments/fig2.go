@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tessel/internal/model"
+	"tessel/internal/piper"
+)
+
+// Fig2Row is one point of Figure 2: GPT training with a 768k-vocabulary
+// embedding on 4 V100s under the Piper/1F1B policy, showing the growing gap
+// between the fastest and slowest pipeline stage as layers increase.
+type Fig2Row struct {
+	Layers        int
+	FastestSec    float64 // per-iteration compute of the fastest stage
+	SlowestSec    float64 // per-iteration compute of the slowest stage
+	ImbalanceX    float64 // slowest / fastest
+	EmbeddingDevs int     // devices consumed by the embedding shards
+}
+
+// Fig2Result is the full Figure 2 sweep.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2 reproduces Figure 2: a GPT-6.7B-style layer stack (hidden 4096) with
+// a 768k-vocabulary embedding partitioned by the Piper planner onto 4
+// devices; per-stage iteration time is #micro-batches × stage time.
+func Fig2(m Mode) (*Fig2Result, error) {
+	const microBatches = 32
+	cfg := model.TransformerConfig{Name: "GPT-6.7B", ParamsB: 6.7, Hidden: 4096, Heads: 32, Vocab: 768_000}
+	cost := model.DefaultCostModel(4)
+	layerCounts := []int{24, 28, 32, 36, 40}
+	if m.Quick {
+		layerCounts = []int{24, 40}
+	}
+	res := &Fig2Result{}
+	for _, L := range layerCounts {
+		c := cfg
+		c.Layers = L
+		layers := model.PiperLayers(c, cost)
+		plan, err := piper.Partition(layers, model.PipelineDepth, cost.DeviceMemMB)
+		if err != nil {
+			return nil, fmt.Errorf("fig2: layers=%d: %w", L, err)
+		}
+		embDevs := 0
+		for _, st := range plan.Stages {
+			if strings.HasPrefix(layers[st.First].Name, "emb") {
+				embDevs++
+			}
+		}
+		toSec := func(us int) float64 { return float64(us) * microBatches / 1e6 }
+		res.Rows = append(res.Rows, Fig2Row{
+			Layers:        L,
+			FastestSec:    toSec(plan.FastestStage()),
+			SlowestSec:    toSec(plan.Bottleneck),
+			ImbalanceX:    plan.Balance(),
+			EmbeddingDevs: embDevs,
+		})
+	}
+	return res, nil
+}
+
+// String prints the Figure 2 series.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 2: GPT stage imbalance under 1F1B/Piper (768k vocab, 4 GPUs)"))
+	fmt.Fprintf(&b, "%-8s %-14s %-14s %-10s %s\n", "layers", "fastest (s)", "slowest (s)", "ratio", "emb devices")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %-14.1f %-14.1f %-10.2f %d\n",
+			row.Layers, row.FastestSec, row.SlowestSec, row.ImbalanceX, row.EmbeddingDevs)
+	}
+	return b.String()
+}

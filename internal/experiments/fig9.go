@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tessel/internal/core"
+	"tessel/internal/placement"
+)
+
+// Fig9Row compares the time-optimal (TO) whole-problem search against
+// Tessel's two-phase search for one model placement.
+type Fig9Row struct {
+	Model      string
+	Inference  bool
+	TesselTime time.Duration
+	// TORelative[i] is TO(nmb=2·(i+1)) time normalized by TesselTime;
+	// negative means the TO solve exhausted its budget without a proof
+	// (rendered "×", matching the figure's >10k marker).
+	TORelative []float64
+	TONmb      []int
+}
+
+// Fig9Result is the search-cost comparison of Figure 9.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 reproduces Figure 9: TO search cost normalized by Tessel's search
+// time for the three model placements, training (a) and inference (b), at
+// nmb ∈ {2, 4, 6}.
+func Fig9(m Mode) (*Fig9Result, error) {
+	shapes := UnitShapes()
+	nmbs := []int{2, 4, 6}
+	budget := int64(5_000_000)
+	if m.Quick {
+		nmbs = []int{2}
+		budget = 100_000
+	}
+	res := &Fig9Result{}
+	for _, name := range ModelOrder {
+		train := shapes[ModelShapes[name]]
+		for _, inference := range []bool{false, true} {
+			p := train
+			if inference {
+				p = placement.Inference(train)
+			}
+			sres, err := core.Search(p, searchOpts(m.Quick))
+			if err != nil {
+				return nil, fmt.Errorf("fig9: %s: %w", p.Name, err)
+			}
+			row := Fig9Row{
+				Model:      name,
+				Inference:  inference,
+				TesselTime: sres.Stats.Total,
+				TONmb:      nmbs,
+			}
+			for _, n := range nmbs {
+				_, tores, err := core.TimeOptimal(p, n, core.Options{SolverNodes: budget})
+				if err != nil {
+					return nil, fmt.Errorf("fig9: TO %s nmb=%d: %w", p.Name, n, err)
+				}
+				rel := float64(tores.Elapsed) / float64(maxDuration(sres.Stats.Total, time.Microsecond))
+				if !tores.Optimal {
+					rel = -rel // budget-truncated: the figure's "×"
+				}
+				row.TORelative = append(row.TORelative, rel)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String prints the Figure 9 comparison.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 9: TO search cost normalized by Tessel search time"))
+	fmt.Fprintf(&b, "%-8s %-10s %-12s", "model", "mode", "tessel")
+	if len(r.Rows) > 0 {
+		for _, n := range r.Rows[0].TONmb {
+			fmt.Fprintf(&b, " %-14s", fmt.Sprintf("TO(nmb=%d)/T", n))
+		}
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		mode := "training"
+		if row.Inference {
+			mode = "inference"
+		}
+		fmt.Fprintf(&b, "%-8s %-10s %-12s", row.Model, mode, fmtDuration(row.TesselTime))
+		for _, rel := range row.TORelative {
+			if rel < 0 {
+				fmt.Fprintf(&b, " %-14s", fmt.Sprintf("×(>%.0fx)", -rel))
+			} else {
+				fmt.Fprintf(&b, " %-14s", fmt.Sprintf("%.1fx", rel))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Experiment names every driver in presentation order.
+var Experiment = []string{
+	"table3", "fig2", "fig3", "fig8", "table2", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+}
+
+// Run executes one experiment by name and returns its printable result.
+func Run(name string, m Mode) (fmt.Stringer, error) {
+	switch name {
+	case "fig2":
+		return Fig2(m)
+	case "fig3":
+		return Fig3(m)
+	case "fig8":
+		return Fig8(m)
+	case "fig9":
+		return Fig9(m)
+	case "fig10":
+		return Fig10(m)
+	case "fig11":
+		return Fig11(m)
+	case "fig12":
+		return Fig12(m)
+	case "fig13":
+		return Fig13(m)
+	case "fig14":
+		return Fig14(m)
+	case "fig15":
+		return Fig15(m)
+	case "fig16":
+		return Fig16(m)
+	case "fig17":
+		return Fig17(m)
+	case "table2":
+		return Table2(m)
+	case "table3":
+		return Table3(m)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (have %v)", name, Experiment)
+	}
+}
+
+// RunAll executes every experiment, streaming results to w. It keeps going
+// past individual failures and returns the first error encountered.
+func RunAll(w io.Writer, m Mode) error {
+	var firstErr error
+	for _, name := range Experiment {
+		t0 := time.Now()
+		res, err := Run(name, m)
+		if err != nil {
+			fmt.Fprintf(w, "%s: ERROR: %v\n\n", name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s\n[%s completed in %s]\n\n", res, name, fmtDuration(time.Since(t0)))
+	}
+	return firstErr
+}

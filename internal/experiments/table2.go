@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tessel/internal/baseline"
+	"tessel/internal/core"
+)
+
+// Table2Row holds the bubble rates of one model row of Table II. A NaN
+// entry renders as "×" — no straightforward adaptation exists (1F1B+ on the
+// K-shape).
+type Table2Row struct {
+	Model         string
+	OneFOneB      float64 // on its own V-shape placement
+	ChimeraDirect float64 // on the X-shape placement
+	OneFOneBPlus  float64 // on the model's advanced placement
+	Tessel        float64 // searched schedule on the same placement
+}
+
+// Table2Result is the bubble-rate comparison of Table II, computed in the
+// "numerous micro-batches" regime (steady state over the middle of a
+// 64-micro-batch schedule; Tessel's value is the repetend's steady rate).
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 reproduces Table II with the unit-cost placements (balanced
+// per-device workloads, as §VI-B assumes).
+func Table2(m Mode) (*Table2Result, error) {
+	shapes := UnitShapes()
+	n := 64
+	if m.Quick {
+		n = 24
+	}
+	oneFOneB, err := baseline.OneFOneB(shapes["v-shape"], n)
+	if err != nil {
+		return nil, err
+	}
+	chimera, err := baseline.ChimeraDirect(shapes["x-shape"], n)
+	if err != nil {
+		return nil, err
+	}
+	v1 := baseline.SteadyBubble(oneFOneB)
+	vc := baseline.SteadyBubble(chimera)
+	res := &Table2Result{}
+	for _, name := range ModelOrder {
+		p := shapes[ModelShapes[name]]
+		row := Table2Row{Model: name, OneFOneB: v1, ChimeraDirect: vc}
+		if name == "Flava" {
+			// No straightforward 1F1B adaptation for the K-shape (Table II "×").
+			row.OneFOneBPlus = math.NaN()
+		} else {
+			plus, err := baseline.OneFOneBPlus(p, n)
+			if err != nil {
+				return nil, fmt.Errorf("table2: 1F1B+ on %s: %w", p.Name, err)
+			}
+			row.OneFOneBPlus = baseline.SteadyBubble(plus)
+		}
+		sres, err := core.Search(p, searchOpts(m.Quick))
+		if err != nil {
+			return nil, fmt.Errorf("table2: tessel on %s: %w", p.Name, err)
+		}
+		row.Tessel = sres.BubbleRate
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String prints Table II.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Table II: bubble rate of each training schedule (numerous micro-batches)"))
+	fmt.Fprintf(&b, "%-8s %-10s %-16s %-10s %s\n", "model", "1F1B", "Chimera-direct", "1F1B+", "Tessel")
+	cell := func(x float64) string {
+		if math.IsNaN(x) {
+			return "×"
+		}
+		return fmt.Sprintf("%.0f%%", 100*x)
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-10s %-16s %-10s %s\n",
+			row.Model, cell(row.OneFOneB), cell(row.ChimeraDirect), cell(row.OneFOneBPlus), cell(row.Tessel))
+	}
+	return b.String()
+}

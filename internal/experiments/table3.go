@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tessel/internal/model"
+)
+
+// Table3Result reprints the model architecture table.
+type Table3Result struct{}
+
+// Table3 returns the Table III configurations (static data, kept as an
+// experiment so the harness covers every table).
+func Table3(Mode) (*Table3Result, error) { return &Table3Result{}, nil }
+
+// String prints Table III.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Table III: model architectures per GPU count"))
+	fmt.Fprintf(&b, "%-6s %-10s %-8s %-8s %-8s %s\n", "GPUs", "model", "layers", "hidden", "heads", "vocab")
+	for _, gpus := range model.GPUCounts {
+		for _, cfg := range []model.TransformerConfig{model.GPTConfigs[gpus], model.MT5Configs[gpus]} {
+			fmt.Fprintf(&b, "%-6d %-10s %-8d %-8d %-8d %d\n",
+				gpus, cfg.Name, cfg.Layers, cfg.Hidden, cfg.Heads, cfg.Vocab)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,481 @@
+// Package model provides the DNN model zoo of the paper's evaluation
+// (Table III): GPT and mT5 with very large multilingual embeddings, scaled
+// with the GPU count, and the multi-modal Flava model — together with an
+// analytical cost model that turns model configurations into the per-block
+// integer time/memory profiles the scheduler and simulator consume.
+//
+// The paper profiles real models on V100-32GB GPUs; this package substitutes
+// a FLOPs/bytes cost model with documented constants (see DESIGN.md). Only
+// relative magnitudes matter for reproducing the evaluation's shape: the
+// embedding is memory-heavy and compute-light, transformer stages dominate
+// compute, backward ≈ 2× forward (3× with recompute, §VI-B).
+package model
+
+import (
+	"fmt"
+
+	"tessel/internal/piper"
+	"tessel/internal/placement"
+	"tessel/internal/sched"
+)
+
+// TransformerConfig describes one Table III row.
+type TransformerConfig struct {
+	// Name labels the configuration, e.g. "GPT-11B".
+	Name string
+	// ParamsB is the parameter count in billions (Table III).
+	ParamsB float64
+	// Layers, Hidden, Heads and Vocab follow Table III.
+	Layers, Hidden, Heads, Vocab int
+}
+
+// GPTConfigs maps total GPU count → GPT configuration (Table III row 1).
+var GPTConfigs = map[int]TransformerConfig{
+	4:  {Name: "GPT-11B", ParamsB: 11, Layers: 32, Hidden: 4096, Heads: 32, Vocab: 1_000_000},
+	8:  {Name: "GPT-24B", ParamsB: 24, Layers: 40, Hidden: 6144, Heads: 48, Vocab: 1_000_000},
+	16: {Name: "GPT-47B", ParamsB: 47, Layers: 48, Hidden: 8192, Heads: 64, Vocab: 1_000_000},
+	32: {Name: "GPT-77B", ParamsB: 77, Layers: 80, Hidden: 8192, Heads: 64, Vocab: 1_500_000},
+}
+
+// MT5Configs maps total GPU count → mT5 configuration (Table III row 2).
+var MT5Configs = map[int]TransformerConfig{
+	4:  {Name: "mT5-1.8B", ParamsB: 1.8, Layers: 48, Hidden: 1024, Heads: 16, Vocab: 512_000},
+	8:  {Name: "mT5-9.5B", ParamsB: 9.5, Layers: 48, Hidden: 3072, Heads: 24, Vocab: 1_000_000},
+	16: {Name: "mT5-43B", ParamsB: 43, Layers: 64, Hidden: 6144, Heads: 48, Vocab: 1_500_000},
+	32: {Name: "mT5-88B", ParamsB: 88, Layers: 80, Hidden: 8192, Heads: 64, Vocab: 1_500_000},
+}
+
+// FlavaConfig is the inference model of Figure 15: 24 layers, 4096 hidden,
+// 32 heads on 4 GPUs, split into text, vision and cross encoders.
+var FlavaConfig = TransformerConfig{
+	Name: "Flava-24L", Layers: 24, Hidden: 4096, Heads: 32, Vocab: 50_000,
+}
+
+// GPUCounts lists the evaluation's cluster sizes.
+var GPUCounts = []int{4, 8, 16, 32}
+
+// PipelineDepth is the pipeline depth of every placement: one stage per
+// device within a server, matching the paper's 4-stage figures. Extra GPUs
+// widen each block with tensor/data parallelism (the Piper policy of
+// §VI-A), which the cost model folds into per-block times.
+const PipelineDepth = 4
+
+// CostModel turns configurations into integer block costs. Times are in
+// microseconds, memory in MiB.
+type CostModel struct {
+	// MicroBatch is the number of sequences per micro-batch.
+	MicroBatch int
+	// SeqLen is the sequence length.
+	SeqLen int
+	// DeviceTFLOPS is the effective per-GPU throughput (peak × utilization).
+	DeviceTFLOPS float64
+	// Recompute triples backward cost relative to forward (§VI-B).
+	Recompute bool
+	// GPUs is the total GPU count; blocks are widened by GPUs/PipelineDepth
+	// with the corresponding parallelization efficiency.
+	GPUs int
+	// DeviceMemMB is the per-GPU memory capacity (V100-32GB default).
+	DeviceMemMB int
+}
+
+// DefaultCostModel returns the constants used throughout the evaluation:
+// micro-batches of 4 sequences of length 1024 on V100s at 45% utilization
+// of 125 peak TFLOPS, with recompute enabled as in §VI-A.
+func DefaultCostModel(gpus int) CostModel {
+	return CostModel{
+		MicroBatch:   4,
+		SeqLen:       1024,
+		DeviceTFLOPS: 125 * 0.45,
+		Recompute:    true,
+		GPUs:         gpus,
+		DeviceMemMB:  32 * 1024,
+	}
+}
+
+// widen returns the per-block parallel width and its efficiency: blocks are
+// sharded over GPUs/PipelineDepth devices; crossing server boundaries
+// (8 GPUs/server) costs efficiency, which is how the paper's communication
+// overheads enter the analytical model.
+func (c CostModel) widen() (width int, eff float64) {
+	width = c.GPUs / PipelineDepth
+	if width < 1 {
+		width = 1
+	}
+	switch {
+	case width <= 2: // intra-server NVLink
+		eff = 0.95
+	case width <= 8:
+		eff = 0.85
+	default: // cross-server sharding
+		eff = 0.70
+	}
+	return width, eff
+}
+
+// layerFwdFLOPs is the forward cost of one transformer layer for one
+// micro-batch: 24·b·s·h² (matmuls) + 4·b·s²·h (attention).
+func (c CostModel) layerFwdFLOPs(hidden int) float64 {
+	b, s, h := float64(c.MicroBatch), float64(c.SeqLen), float64(hidden)
+	return 24*b*s*h*h + 4*b*s*s*h
+}
+
+func (c CostModel) usFor(flops float64) int {
+	width, eff := c.widen()
+	us := flops / (c.DeviceTFLOPS * 1e12 * float64(width) * eff) * 1e6
+	if us < 1 {
+		return 1
+	}
+	return int(us)
+}
+
+// LayerFwdUs is the forward time of one transformer layer in microseconds.
+func (c CostModel) LayerFwdUs(hidden int) int {
+	return c.usFor(c.layerFwdFLOPs(hidden))
+}
+
+// LayerBwdUs is the backward time: 2× forward, 3× with recompute.
+func (c CostModel) LayerBwdUs(hidden int) int {
+	f := c.LayerFwdUs(hidden)
+	if c.Recompute {
+		return 3 * f
+	}
+	return 2 * f
+}
+
+// EmbedFwdUs is the forward time of the (sharded) embedding block: the
+// lookup plus the sharded output projection. The paper characterizes it as
+// compute-light relative to transformer stages.
+func (c CostModel) EmbedFwdUs(hidden, vocab, shards int) int {
+	b, s, h := float64(c.MicroBatch), float64(c.SeqLen), float64(hidden)
+	v := float64(vocab) / float64(shards)
+	// Sharded logits projection at reduced effective intensity (gather +
+	// bandwidth-bound lookup run far below matmul efficiency).
+	flops := 2 * b * s * h * v * 0.25
+	return c.usFor(flops)
+}
+
+// EmbedBwdUs mirrors EmbedFwdUs with the backward multiplier.
+func (c CostModel) EmbedBwdUs(hidden, vocab, shards int) int {
+	f := c.EmbedFwdUs(hidden, vocab, shards)
+	if c.Recompute {
+		return 3 * f
+	}
+	return 2 * f
+}
+
+// bytesPerParam is the training-resident footprint per parameter: fp16
+// weights + fp16 gradients + fp32 master copy, with optimizer states
+// offloaded (the paper applies recompute and large-model practice).
+const bytesPerParam = 8
+
+// EmbTrainFactor inflates the embedding's resident footprint during
+// training: the huge table additionally keeps dense gradient and optimizer
+// buffers that cannot be offloaded per step (§II: the embedding "consumes a
+// significant amount of memory but requires only little computation cost",
+// needing at least two GPUs).
+const EmbTrainFactor = 1.75
+
+// crossServerTPPenalty models §VI-D's observation that 1F1B's V-shape
+// placement forces cross-server tensor parallelism once the pipeline spans
+// servers, which "leads to heavy communication overhead": per-stage compute
+// efficiency halves when a stage aggregates 4 or more GPUs (two or more
+// servers in the paper's 8-GPU-server testbed).
+func crossServerTPPenalty(width int) int {
+	if width >= 4 {
+		return 2
+	}
+	return 1
+}
+
+// LayerParamMB is the resident parameter memory of one transformer layer.
+func (c CostModel) LayerParamMB(hidden int) int {
+	params := 12 * float64(hidden) * float64(hidden)
+	return int(params * bytesPerParam / (1 << 20))
+}
+
+// EmbedParamMB is the resident memory of the full embedding table.
+func (c CostModel) EmbedParamMB(hidden, vocab int) int {
+	params := float64(hidden) * float64(vocab)
+	return int(params * bytesPerParam / (1 << 20))
+}
+
+// ActivationMB is the per-micro-batch activation footprint of a group of
+// layers with recompute (only layer-boundary tensors are stored).
+func (c CostModel) ActivationMB(hidden, layers int) int {
+	bytes := float64(c.MicroBatch) * float64(c.SeqLen) * float64(hidden) * 2 * float64(layers)
+	mb := int(bytes / (1 << 20))
+	if mb < 1 {
+		mb = 1
+	}
+	return mb
+}
+
+// FLOPsPerIteration is the total useful work of one training iteration with
+// the given global batch: ≈ 6 × params × tokens (fwd+bwd), used for the
+// aggregated-PFLOPS metric of Figures 13 and 14.
+func FLOPsPerIteration(cfg TransformerConfig, seqLen, globalBatch int) float64 {
+	return 6 * cfg.ParamsB * 1e9 * float64(seqLen) * float64(globalBatch)
+}
+
+// GPTMShape builds the M-shape placement of Figure 8(a) for a GPT config:
+// the embedding forward/backward and the output head run tensor-parallel
+// across all pipeline stages, with transformer layers divided evenly.
+func GPTMShape(cfg TransformerConfig, c CostModel) (*sched.Placement, error) {
+	perDev := cfg.Layers / PipelineDepth
+	if perDev == 0 {
+		return nil, fmt.Errorf("model: %s has fewer layers than pipeline depth", cfg.Name)
+	}
+	fwd := perDev * c.LayerFwdUs(cfg.Hidden)
+	bwd := perDev * c.LayerBwdUs(cfg.Hidden)
+	embF := c.EmbedFwdUs(cfg.Hidden, cfg.Vocab, PipelineDepth)
+	embB := c.EmbedBwdUs(cfg.Hidden, cfg.Vocab, PipelineDepth)
+	act := c.ActivationMB(cfg.Hidden, perDev)
+	p, err := placement.MShape(placement.Config{
+		Devices: PipelineDepth,
+		Fwd:     fwd, Bwd: bwd,
+		EmbFwd: embF, EmbBwd: embB,
+		FwdMem: act, BwdMem: -act,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Name = cfg.Name + "-mshape"
+	return p, nil
+}
+
+// MT5NNShape builds the NN-shape placement of Figure 8(d) for an mT5
+// config: encoder and decoder layers share devices, with the shared
+// embedding tensor-parallel on all devices.
+func MT5NNShape(cfg TransformerConfig, c CostModel) (*sched.Placement, error) {
+	// Half the layers are encoder, half decoder; each device holds
+	// Layers/2/D of each.
+	perDev := cfg.Layers / 2 / PipelineDepth
+	if perDev == 0 {
+		return nil, fmt.Errorf("model: %s too shallow for NN-shape", cfg.Name)
+	}
+	fwd := perDev * c.LayerFwdUs(cfg.Hidden)
+	bwd := perDev * c.LayerBwdUs(cfg.Hidden)
+	embF := c.EmbedFwdUs(cfg.Hidden, cfg.Vocab, PipelineDepth)
+	embB := c.EmbedBwdUs(cfg.Hidden, cfg.Vocab, PipelineDepth)
+	act := c.ActivationMB(cfg.Hidden, perDev)
+	p, err := placement.NNShape(placement.Config{
+		Devices: PipelineDepth,
+		Fwd:     fwd, Bwd: bwd,
+		EmbFwd: embF, EmbBwd: embB,
+		FwdMem: act, BwdMem: -act,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Name = cfg.Name + "-nnshape"
+	return p, nil
+}
+
+// PiperLayers builds the layer list the Piper planner partitions for the
+// 1F1B V-shape baseline: embedding shards (memory-heavy, compute-light)
+// followed by the transformer stack. The embedding is split into enough
+// shards that each fits a device, mirroring "the large embedding layer
+// requires at least two GPUs to fit in" (§II).
+func PiperLayers(cfg TransformerConfig, c CostModel) []piper.Layer {
+	width := c.GPUs / PipelineDepth
+	if width < 1 {
+		width = 1
+	}
+	effCap := c.DeviceMemMB * width
+	embMB := int(float64(c.EmbedParamMB(cfg.Hidden, cfg.Vocab)) * EmbTrainFactor)
+	shards := 1
+	for embMB/shards > effCap*9/10 {
+		shards++
+	}
+	if shards < 2 {
+		shards = 2
+	}
+	penalty := crossServerTPPenalty(width)
+	var layers []piper.Layer
+	for s := 0; s < shards; s++ {
+		layers = append(layers, piper.Layer{
+			Name:    fmt.Sprintf("emb.%d", s),
+			FwdTime: penalty * c.EmbedFwdUs(cfg.Hidden, cfg.Vocab, shards),
+			BwdTime: penalty * c.EmbedBwdUs(cfg.Hidden, cfg.Vocab, shards),
+			Mem:     embMB / shards,
+		})
+	}
+	lp := c.LayerParamMB(cfg.Hidden)
+	la := c.ActivationMB(cfg.Hidden, 1) * PipelineDepth // in-flight micro-batches
+	for l := 0; l < cfg.Layers; l++ {
+		layers = append(layers, piper.Layer{
+			Name:    fmt.Sprintf("tf%d", l),
+			FwdTime: penalty * c.LayerFwdUs(cfg.Hidden),
+			BwdTime: penalty * c.LayerBwdUs(cfg.Hidden),
+			Mem:     lp + la,
+		})
+	}
+	return layers
+}
+
+// MShapeResidentMB returns the per-stage resident parameter memory of the
+// M/NN-shape placements: the device's transformer share plus its quarter of
+// the training-inflated embedding.
+func MShapeResidentMB(cfg TransformerConfig, c CostModel) int {
+	perDev := cfg.Layers / PipelineDepth
+	emb := int(float64(c.EmbedParamMB(cfg.Hidden, cfg.Vocab)) * EmbTrainFactor)
+	return perDev*c.LayerParamMB(cfg.Hidden) + emb/PipelineDepth
+}
+
+// VShapeFromPlan converts a Piper plan into a V-shape placement whose stage
+// times come from the plan's segments — the 1F1B baseline's placement.
+func VShapeFromPlan(plan *piper.Plan, layers []piper.Layer, c CostModel, name string) *sched.Placement {
+	d := len(plan.Stages)
+	p := &sched.Placement{Name: name + "-vshape", NumDevices: d}
+	one := func(dev int) []sched.DeviceID { return []sched.DeviceID{sched.DeviceID(dev)} }
+	for _, st := range plan.Stages {
+		fwd, bwd := 0, 0
+		for l := st.First; l <= st.Last; l++ {
+			fwd += layers[l].FwdTime
+			bwd += layers[l].BwdTime
+		}
+		if fwd < 1 {
+			fwd = 1
+		}
+		if bwd < 1 {
+			bwd = 1
+		}
+		p.Stages = append(p.Stages, sched.Stage{
+			Name: fmt.Sprintf("f%d", st.Device), Kind: sched.Forward,
+			Time: fwd, Mem: 1, Devices: one(st.Device),
+		})
+	}
+	for dev := d - 1; dev >= 0; dev-- {
+		st := plan.Stages[dev]
+		bwd := 0
+		for l := st.First; l <= st.Last; l++ {
+			bwd += layers[l].BwdTime
+		}
+		if bwd < 1 {
+			bwd = 1
+		}
+		p.Stages = append(p.Stages, sched.Stage{
+			Name: fmt.Sprintf("b%d", dev), Kind: sched.Backward,
+			Time: bwd, Mem: -1, Devices: one(dev),
+		})
+	}
+	p.Deps = make([][]int, len(p.Stages))
+	for i := 0; i+1 < len(p.Stages); i++ {
+		p.Deps[i] = []int{i + 1}
+	}
+	return p
+}
+
+// XShapeFor builds the Chimera bidirectional placement for a config: each
+// micro-batch splits into two half-batches flowing in opposite directions,
+// so per-direction block times are half the stage cost. The embedding is
+// not distributable under Chimera; its cost is folded into the terminal
+// stages.
+func XShapeFor(cfg TransformerConfig, c CostModel) (*sched.Placement, error) {
+	perDev := cfg.Layers / PipelineDepth
+	if perDev == 0 {
+		return nil, fmt.Errorf("model: %s too shallow for X-shape", cfg.Name)
+	}
+	fwd := perDev * c.LayerFwdUs(cfg.Hidden) / 2
+	if fwd < 1 {
+		fwd = 1
+	}
+	bwd := perDev * c.LayerBwdUs(cfg.Hidden) / 2
+	if bwd < 1 {
+		bwd = 1
+	}
+	act := c.ActivationMB(cfg.Hidden, perDev) / 2
+	if act < 1 {
+		act = 1
+	}
+	p, err := placement.XShape(placement.Config{
+		Devices: PipelineDepth,
+		Fwd:     fwd, Bwd: bwd,
+		FwdMem: act, BwdMem: -act,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Each direction still computes the embedding and head at its terminal
+	// stages (Chimera cannot distribute them); fold the per-half cost into
+	// the first forward and last backward block of each chain.
+	embF := c.EmbedFwdUs(cfg.Hidden, cfg.Vocab, 2) / 2
+	embB := c.EmbedBwdUs(cfg.Hidden, cfg.Vocab, 2) / 2
+	for _, name := range []string{"df0", fmt.Sprintf("uf%d", PipelineDepth-1)} {
+		if id := p.StageIDByName(name); id >= 0 {
+			p.Stages[id].Time += embF
+		}
+	}
+	for _, name := range []string{fmt.Sprintf("db%d", 0), fmt.Sprintf("ub%d", PipelineDepth-1)} {
+		if id := p.StageIDByName(name); id >= 0 {
+			p.Stages[id].Time += embB
+		}
+	}
+	p.Name = cfg.Name + "-xshape"
+	return p, nil
+}
+
+// ChimeraOOM reports whether the Chimera X-shape placement runs out of
+// memory for the config: Chimera co-locates the parameters of two pipeline
+// directions on every device (§VI-D, "co-located parameters of multiple
+// stages within a single GPU"), plus an embedding replica per direction.
+func ChimeraOOM(cfg TransformerConfig, c CostModel) bool {
+	width, _ := c.widen()
+	perDevLayers := (cfg.Layers + PipelineDepth - 1) / PipelineDepth
+	stageMB := perDevLayers * c.LayerParamMB(cfg.Hidden) / width
+	emb := int(float64(c.EmbedParamMB(cfg.Hidden, cfg.Vocab)) * EmbTrainFactor)
+	embMB := emb / (width * 2)
+	// Two directions per device: 2 stages of parameters + embedding shares.
+	need := 2*stageMB + embMB
+	return need > c.DeviceMemMB
+}
+
+// FlavaKShape builds the K-shape inference placement of Figure 8(g): text
+// and vision encoder stages on separate device halves and a tensor-parallel
+// cross encoder. Inference uses micro-batches of one sequence.
+func FlavaKShape(c CostModel) (*sched.Placement, error) {
+	cfg := FlavaConfig
+	// 24 layers: 8 text + 8 vision + 8 cross.
+	branch := 8
+	perDev := branch / (PipelineDepth / 2) // branch layers per device
+	inf := c
+	inf.Recompute = false
+	fwd := perDev * inf.LayerFwdUs(cfg.Hidden)
+	crossF := 8 * inf.LayerFwdUs(cfg.Hidden) * 130 / (100 * PipelineDepth) // TP sharded with 30% overhead
+	if crossF < 1 {
+		crossF = 1
+	}
+	p, err := placement.KShape(placement.Config{
+		Devices: PipelineDepth,
+		Fwd:     fwd, Bwd: 2 * fwd,
+		EmbFwd: crossF, EmbBwd: 2 * crossF,
+		FwdMem: 1, BwdMem: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return placement.Inference(p), nil
+}
+
+// FlavaSequentialVShape builds the 1F1B baseline placement for Flava: since
+// 1F1B has no K-shape adaptation (Table II "×"), the branches execute
+// sequentially as consecutive pipeline stages (§VI-D: "1F1B can only
+// schedule the branches in sequential execution order").
+func FlavaSequentialVShape(c CostModel) (*sched.Placement, error) {
+	cfg := FlavaConfig
+	inf := c
+	inf.Recompute = false
+	// 24 layers over 4 devices = 6 layers per stage, branches serialized.
+	perDev := cfg.Layers / PipelineDepth
+	fwd := perDev * inf.LayerFwdUs(cfg.Hidden)
+	p, err := placement.VShape(placement.Config{
+		Devices: PipelineDepth,
+		Fwd:     fwd, Bwd: 2 * fwd,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q := placement.Inference(p)
+	q.Name = "flava-1f1b"
+	return q, nil
+}

@@ -1,0 +1,230 @@
+package model
+
+import (
+	"testing"
+
+	"tessel/internal/piper"
+	"tessel/internal/sched"
+)
+
+func TestTableIIIConfigsPresent(t *testing.T) {
+	for _, gpus := range GPUCounts {
+		g, ok := GPTConfigs[gpus]
+		if !ok {
+			t.Fatalf("missing GPT config for %d GPUs", gpus)
+		}
+		m, ok := MT5Configs[gpus]
+		if !ok {
+			t.Fatalf("missing mT5 config for %d GPUs", gpus)
+		}
+		if g.Layers <= 0 || g.Hidden <= 0 || g.Vocab <= 0 || m.Layers <= 0 {
+			t.Fatalf("degenerate config at %d GPUs", gpus)
+		}
+	}
+	// Spot-check Table III values.
+	if GPTConfigs[16].Layers != 48 || GPTConfigs[16].Hidden != 8192 {
+		t.Fatalf("GPT-47B config wrong: %+v", GPTConfigs[16])
+	}
+	if MT5Configs[4].Vocab != 512_000 {
+		t.Fatalf("mT5-1.8B vocab wrong: %+v", MT5Configs[4])
+	}
+}
+
+func TestCostModelScales(t *testing.T) {
+	c := DefaultCostModel(4)
+	// Backward with recompute = 3× forward (§VI-B).
+	if c.LayerBwdUs(4096) != 3*c.LayerFwdUs(4096) {
+		t.Fatalf("recompute bwd = %d, want 3×%d", c.LayerBwdUs(4096), c.LayerFwdUs(4096))
+	}
+	c.Recompute = false
+	if c.LayerBwdUs(4096) != 2*c.LayerFwdUs(4096) {
+		t.Fatalf("bwd = %d, want 2×fwd", c.LayerBwdUs(4096))
+	}
+	// Bigger hidden → more time.
+	if c.LayerFwdUs(8192) <= c.LayerFwdUs(4096) {
+		t.Fatal("hidden scaling broken")
+	}
+	// More GPUs → wider blocks → less time per block.
+	wide := DefaultCostModel(32)
+	if wide.LayerFwdUs(8192) >= DefaultCostModel(4).LayerFwdUs(8192) {
+		t.Fatal("width scaling broken")
+	}
+}
+
+func TestEmbeddingComputeLightMemoryHeavy(t *testing.T) {
+	// The §II characterization: embedding needs lots of memory but little
+	// compute relative to the transformer stack it displaces.
+	c := DefaultCostModel(4)
+	cfg := GPTConfigs[4]
+	stackFwd := cfg.Layers / PipelineDepth * c.LayerFwdUs(cfg.Hidden)
+	embFwd := c.EmbedFwdUs(cfg.Hidden, cfg.Vocab, PipelineDepth)
+	if embFwd >= stackFwd {
+		t.Fatalf("embedding fwd %dus should be below stage stack %dus", embFwd, stackFwd)
+	}
+	embMB := c.EmbedParamMB(cfg.Hidden, cfg.Vocab)
+	layerMB := c.LayerParamMB(cfg.Hidden)
+	if embMB < 10*layerMB {
+		t.Fatalf("embedding %dMB should dwarf a layer %dMB", embMB, layerMB)
+	}
+	// The 1M×4096 embedding cannot practically fit one 32GB device (the
+	// PiperLayers shard rule leaves a quarter of memory for activations).
+	if embMB < c.DeviceMemMB*3/4 {
+		t.Fatalf("embedding %dMB should exceed the 3/4-device threshold (%dMB)", embMB, c.DeviceMemMB*3/4)
+	}
+}
+
+func TestGPTMShapeValid(t *testing.T) {
+	for _, gpus := range GPUCounts {
+		c := DefaultCostModel(gpus)
+		p, err := GPTMShape(GPTConfigs[gpus], c)
+		if err != nil {
+			t.Fatalf("%d GPUs: %v", gpus, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%d GPUs: %v", gpus, err)
+		}
+		if p.NumDevices != PipelineDepth {
+			t.Fatalf("pipeline depth = %d", p.NumDevices)
+		}
+		// Balanced per-device work (the M-shape design goal).
+		w0 := p.DeviceWork(0)
+		for d := 1; d < p.NumDevices; d++ {
+			if p.DeviceWork(sched.DeviceID(d)) != w0 {
+				t.Fatalf("%d GPUs: unbalanced device work", gpus)
+			}
+		}
+	}
+}
+
+func TestMT5NNShapeValid(t *testing.T) {
+	for _, gpus := range GPUCounts {
+		c := DefaultCostModel(gpus)
+		p, err := MT5NNShape(MT5Configs[gpus], c)
+		if err != nil {
+			t.Fatalf("%d GPUs: %v", gpus, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%d GPUs: %v", gpus, err)
+		}
+	}
+}
+
+func TestPiperLayersEmbeddingSharding(t *testing.T) {
+	c := DefaultCostModel(4)
+	layers := PiperLayers(GPTConfigs[4], c)
+	shards := 0
+	for _, l := range layers {
+		if l.Name[0] == 'e' {
+			shards++
+			if l.Mem >= c.DeviceMemMB {
+				t.Fatalf("embedding shard %dMB does not fit a device", l.Mem)
+			}
+		}
+	}
+	if shards < 2 {
+		t.Fatalf("embedding should need ≥ 2 shards, got %d", shards)
+	}
+	if len(layers) != shards+GPTConfigs[4].Layers {
+		t.Fatalf("layer count = %d", len(layers))
+	}
+}
+
+func TestPiperPartitionImbalance(t *testing.T) {
+	// The Figure 2 effect: partitioning the embedding-laden GPT stack on 4
+	// devices leaves the compute concentrated on few devices.
+	c := DefaultCostModel(4)
+	layers := PiperLayers(GPTConfigs[4], c)
+	plan, err := piper.Partition(layers, PipelineDepth, c.DeviceMemMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Balance() < 1.5 {
+		t.Fatalf("balance = %f; expected a pronounced imbalance", plan.Balance())
+	}
+}
+
+func TestVShapeFromPlan(t *testing.T) {
+	c := DefaultCostModel(4)
+	layers := PiperLayers(GPTConfigs[4], c)
+	plan, err := piper.Partition(layers, PipelineDepth, c.DeviceMemMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := VShapeFromPlan(plan, layers, c, "gpt")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 2*PipelineDepth {
+		t.Fatalf("K = %d", p.K())
+	}
+	// Slowest stage time ratio matches the plan's balance.
+	if p.LowerBound() < plan.Bottleneck {
+		t.Fatalf("placement lower bound %d below plan bottleneck %d", p.LowerBound(), plan.Bottleneck)
+	}
+}
+
+func TestChimeraOOM(t *testing.T) {
+	// Chimera fails on GPT at every scale (Figure 13: "×" everywhere).
+	for _, gpus := range GPUCounts {
+		if !ChimeraOOM(GPTConfigs[gpus], DefaultCostModel(gpus)) {
+			t.Fatalf("Chimera should OOM on GPT at %d GPUs", gpus)
+		}
+	}
+}
+
+func TestFlavaPlacements(t *testing.T) {
+	c := DefaultCostModel(4)
+	k, err := FlavaKShape(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range k.Stages {
+		if k.Stages[i].Kind == sched.Backward {
+			t.Fatal("inference placement contains backward blocks")
+		}
+	}
+	v, err := FlavaSequentialVShape(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The K-shape single-micro critical path must be shorter than the
+	// sequential-branch V-shape (the Figure 15 latency win: branches run
+	// concurrently).
+	kPath := criticalPath(k)
+	vPath := criticalPath(v)
+	if kPath >= vPath {
+		t.Fatalf("K-shape path %d not below sequential path %d", kPath, vPath)
+	}
+}
+
+func criticalPath(p *sched.Placement) int {
+	order, _ := p.TopoOrder()
+	dist := make([]int, p.K())
+	longest := 0
+	for _, u := range order {
+		end := dist[u] + p.Stages[u].Time
+		if end > longest {
+			longest = end
+		}
+		for _, v := range p.Succs(u) {
+			if end > dist[v] {
+				dist[v] = end
+			}
+		}
+	}
+	return longest
+}
+
+func TestFLOPsPerIteration(t *testing.T) {
+	f := FLOPsPerIteration(GPTConfigs[4], 1024, 128)
+	// 6 × 11e9 × 1024 × 128 ≈ 8.65e15.
+	if f < 8e15 || f > 9e15 {
+		t.Fatalf("FLOPs = %g", f)
+	}
+}

@@ -1,0 +1,162 @@
+// Package piper implements a Piper-style pipeline stage planner (Tarnawski
+// et al., referenced as the placement policy in §II and §VI-A of the Tessel
+// paper): it partitions a layer sequence into contiguous stages, one per
+// device, minimizing the maximum per-stage compute time subject to a
+// per-device memory capacity, via dynamic programming.
+//
+// The planner is what produces the imbalanced V-shape placements of
+// Figure 2: a large embedding layer consumes most of the memory on its
+// devices, forcing the computation-heavy transformer layers onto the
+// remaining devices.
+package piper
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layer describes one partitionable model layer.
+type Layer struct {
+	// Name labels the layer ("emb", "tf12", …).
+	Name string
+	// FwdTime and BwdTime are per-micro-batch compute costs in ticks.
+	FwdTime, BwdTime int
+	// Mem is the resident memory of the layer (parameters + worst-case
+	// activations), in the same units as the capacity passed to Partition.
+	Mem int
+}
+
+// Time returns the per-micro-batch compute cost of the layer.
+func (l Layer) Time() int { return l.FwdTime + l.BwdTime }
+
+// Stage is one contiguous segment of layers assigned to a device.
+type Stage struct {
+	// Device is the pipeline position (0-based).
+	Device int
+	// First and Last delimit the layer range [First, Last].
+	First, Last int
+	// Time is the per-micro-batch compute cost of the segment.
+	Time int
+	// Mem is the segment's resident memory.
+	Mem int
+}
+
+// Plan is a complete stage partition.
+type Plan struct {
+	Stages []Stage
+	// Bottleneck is the maximum per-stage time — the pipeline's steady-state
+	// throughput limit.
+	Bottleneck int
+}
+
+// FastestStage returns the minimum per-stage time of the plan.
+func (p *Plan) FastestStage() int {
+	min := math.MaxInt
+	for _, s := range p.Stages {
+		if s.Time < min {
+			min = s.Time
+		}
+	}
+	return min
+}
+
+// ErrOOM is returned (wrapped) when no contiguous partition fits the memory
+// capacity — the out-of-memory failures marked "×" in Figures 13 and 14.
+type OOMError struct {
+	Capacity int
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("piper: no partition fits memory capacity %d", e.Capacity)
+}
+
+// Partition splits layers into exactly devices contiguous stages minimizing
+// the bottleneck stage time, subject to each stage's memory fitting the
+// capacity. It returns an *OOMError when no feasible partition exists.
+func Partition(layers []Layer, devices, capacity int) (*Plan, error) {
+	n := len(layers)
+	if n == 0 {
+		return nil, fmt.Errorf("piper: no layers")
+	}
+	if devices <= 0 {
+		return nil, fmt.Errorf("piper: need at least one device, got %d", devices)
+	}
+	if devices > n {
+		return nil, fmt.Errorf("piper: %d devices exceed %d layers", devices, n)
+	}
+	// Prefix sums for O(1) segment cost/memory.
+	timePre := make([]int, n+1)
+	memPre := make([]int, n+1)
+	for i, l := range layers {
+		if l.FwdTime < 0 || l.BwdTime < 0 || l.Mem < 0 {
+			return nil, fmt.Errorf("piper: layer %d (%s) has negative cost", i, l.Name)
+		}
+		timePre[i+1] = timePre[i] + l.Time()
+		memPre[i+1] = memPre[i] + l.Mem
+	}
+	segTime := func(a, b int) int { return timePre[b+1] - timePre[a] } // inclusive
+	segMem := func(a, b int) int { return memPre[b+1] - memPre[a] }
+
+	const inf = math.MaxInt / 2
+	// dp[k][i]: minimal bottleneck using k stages for layers [0, i).
+	dp := make([][]int, devices+1)
+	cut := make([][]int, devices+1)
+	for k := range dp {
+		dp[k] = make([]int, n+1)
+		cut[k] = make([]int, n+1)
+		for i := range dp[k] {
+			dp[k][i] = inf
+			cut[k][i] = -1
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= devices; k++ {
+		for i := 1; i <= n; i++ {
+			for j := k - 1; j < i; j++ {
+				if dp[k-1][j] == inf {
+					continue
+				}
+				if segMem(j, i-1) > capacity {
+					continue
+				}
+				cand := dp[k-1][j]
+				if st := segTime(j, i-1); st > cand {
+					cand = st
+				}
+				if cand < dp[k][i] {
+					dp[k][i] = cand
+					cut[k][i] = j
+				}
+			}
+		}
+	}
+	if dp[devices][n] == inf {
+		return nil, &OOMError{Capacity: capacity}
+	}
+	plan := &Plan{Bottleneck: dp[devices][n]}
+	stages := make([]Stage, devices)
+	i := n
+	for k := devices; k >= 1; k-- {
+		j := cut[k][i]
+		stages[k-1] = Stage{
+			Device: k - 1,
+			First:  j,
+			Last:   i - 1,
+			Time:   segTime(j, i-1),
+			Mem:    segMem(j, i-1),
+		}
+		i = j
+	}
+	plan.Stages = stages
+	return plan, nil
+}
+
+// Balance reports the imbalance ratio slowest/fastest of a plan (Figure 2's
+// headline: 3.4× for the 40-layer GPT).
+func (p *Plan) Balance() float64 {
+	f := p.FastestStage()
+	if f == 0 {
+		return math.Inf(1)
+	}
+	return float64(p.Bottleneck) / float64(f)
+}

@@ -1,0 +1,181 @@
+package piper
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func uniform(n, t, mem int) []Layer {
+	ls := make([]Layer, n)
+	for i := range ls {
+		ls[i] = Layer{Name: fmt.Sprintf("l%d", i), FwdTime: t, BwdTime: 2 * t, Mem: mem}
+	}
+	return ls
+}
+
+func TestPartitionUniformBalanced(t *testing.T) {
+	// 8 uniform layers on 4 devices → 2 layers per stage, perfectly even.
+	plan, err := Partition(uniform(8, 1, 1), 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Bottleneck != 6 {
+		t.Fatalf("bottleneck = %d, want 6", plan.Bottleneck)
+	}
+	if plan.Balance() != 1.0 {
+		t.Fatalf("balance = %f, want 1.0", plan.Balance())
+	}
+	for k, s := range plan.Stages {
+		if s.Last-s.First != 1 {
+			t.Fatalf("stage %d spans %d..%d, want 2 layers", k, s.First, s.Last)
+		}
+	}
+}
+
+func TestPartitionRespectsMemory(t *testing.T) {
+	// A huge layer forces its own stage even if timing prefers otherwise.
+	layers := uniform(5, 1, 1)
+	layers[0].Mem = 10 // embedding-like: big memory, small compute
+	layers[0].FwdTime, layers[0].BwdTime = 0, 0
+	plan, err := Partition(layers, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages[0].Last != 0 {
+		t.Fatalf("big layer should sit alone: stage 0 = %+v", plan.Stages[0])
+	}
+}
+
+func TestPartitionOOM(t *testing.T) {
+	layers := uniform(4, 1, 5)
+	_, err := Partition(layers, 2, 9) // any 2-layer stage needs 10
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("err = %v, want OOMError", err)
+	}
+	if oom.Capacity != 9 {
+		t.Fatalf("capacity = %d", oom.Capacity)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(nil, 2, 10); err == nil {
+		t.Fatal("empty layers accepted")
+	}
+	if _, err := Partition(uniform(2, 1, 1), 0, 10); err == nil {
+		t.Fatal("zero devices accepted")
+	}
+	if _, err := Partition(uniform(2, 1, 1), 3, 10); err == nil {
+		t.Fatal("more devices than layers accepted")
+	}
+	bad := uniform(2, 1, 1)
+	bad[0].FwdTime = -1
+	if _, err := Partition(bad, 2, 10); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestPartitionEmbeddingImbalance(t *testing.T) {
+	// The Figure 2 scenario: a 2-shard embedding with large memory and tiny
+	// compute plus many transformer layers; with tight memory the embedding
+	// monopolizes two devices and the transformers crowd the rest, so the
+	// imbalance grows with the layer count.
+	build := func(nLayers int) []Layer {
+		layers := []Layer{
+			{Name: "emb.a", FwdTime: 1, BwdTime: 2, Mem: 28},
+			{Name: "emb.b", FwdTime: 1, BwdTime: 2, Mem: 28},
+		}
+		for i := 0; i < nLayers; i++ {
+			layers = append(layers, Layer{Name: fmt.Sprintf("tf%d", i), FwdTime: 10, BwdTime: 20, Mem: 1})
+		}
+		return layers
+	}
+	prev := 0.0
+	for _, n := range []int{24, 32, 40} {
+		plan, err := Partition(build(n), 4, 32)
+		if err != nil {
+			t.Fatalf("layers=%d: %v", n, err)
+		}
+		bal := plan.Balance()
+		if bal <= prev {
+			t.Fatalf("imbalance should grow with layers: %f after %f", bal, prev)
+		}
+		prev = bal
+	}
+	if prev < 2.0 {
+		t.Fatalf("40-layer imbalance = %f; expected a pronounced gap", prev)
+	}
+}
+
+// TestPartitionOptimalAgainstBruteForce: the DP bottleneck equals exhaustive
+// enumeration of all contiguous partitions on small instances.
+func TestPartitionOptimalAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(mod int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(rng>>33) % mod
+			if v < 0 {
+				v += mod
+			}
+			return v
+		}
+		n := 3 + next(5)
+		d := 2 + next(2)
+		if d > n {
+			d = n
+		}
+		cap := 6 + next(10)
+		layers := make([]Layer, n)
+		for i := range layers {
+			layers[i] = Layer{FwdTime: 1 + next(4), BwdTime: next(5), Mem: 1 + next(4)}
+		}
+		plan, err := Partition(layers, d, cap)
+		// Brute force over cut positions.
+		best := -1
+		var rec func(start, k, worst int)
+		rec = func(start, k, worst int) {
+			if k == 1 {
+				mem, tm := 0, 0
+				for i := start; i < n; i++ {
+					mem += layers[i].Mem
+					tm += layers[i].Time()
+				}
+				if mem > cap {
+					return
+				}
+				if tm > worst {
+					worst = tm
+				}
+				if best < 0 || worst < best {
+					best = worst
+				}
+				return
+			}
+			mem, tm := 0, 0
+			for end := start; end <= n-k; end++ {
+				mem += layers[end].Mem
+				tm += layers[end].Time()
+				if mem > cap {
+					break
+				}
+				w := worst
+				if tm > w {
+					w = tm
+				}
+				rec(end+1, k-1, w)
+			}
+		}
+		rec(0, d, 0)
+		if best < 0 {
+			var oom *OOMError
+			return errors.As(err, &oom)
+		}
+		return err == nil && plan.Bottleneck == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

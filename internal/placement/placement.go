@@ -1,0 +1,333 @@
+// Package placement builds the operator placement strategies evaluated in
+// the paper (Figure 1 and Figure 8): V-shape (sequential stages, the 1F1B
+// setting), X-shape (bidirectional pipelines, the Chimera setting), M-shape
+// (memory-intensive layers such as large embeddings distributed across all
+// devices, used for GPT), NN-shape (encoder–decoder with a shared embedding,
+// used for mT5), and K-shape (independent modality branches joining in a
+// cross encoder, used for Flava).
+//
+// Each constructor returns a sched.Placement describing one micro-batch: K
+// blocks with integer times, memory deltas, device assignments, and the
+// dependency DAG. Costs are parameterized so experiments can scale them;
+// the Config defaults follow the paper's conventions (forward:backward =
+// 1:2 as in Figure 3, activation memory +1 per forward, −1 per backward).
+package placement
+
+import (
+	"fmt"
+
+	"tessel/internal/sched"
+)
+
+// Config holds the per-block cost parameters shared by the shape builders.
+type Config struct {
+	// Devices is the pipeline depth D (must be ≥ 2; K-shape needs it even).
+	Devices int
+	// Fwd is the execution time of one per-device forward block.
+	Fwd int
+	// Bwd is the execution time of one per-device backward block
+	// (conventionally 2×Fwd, or 3×Fwd with recompute, §VI-B).
+	Bwd int
+	// EmbFwd/EmbBwd are the times of the all-device (tensor-parallel)
+	// embedding or cross-encoder blocks in M/NN/K shapes.
+	EmbFwd int
+	EmbBwd int
+	// FwdMem/BwdMem are the per-device memory deltas of forward/backward
+	// blocks (defaults +1/−1 as in the Figure 12 ablation).
+	FwdMem int
+	BwdMem int
+}
+
+// Defaults fills zero fields with the paper's conventional values and
+// returns the completed config.
+func (c Config) Defaults() Config {
+	if c.Devices == 0 {
+		c.Devices = 4
+	}
+	if c.Fwd == 0 {
+		c.Fwd = 1
+	}
+	if c.Bwd == 0 {
+		c.Bwd = 2 * c.Fwd
+	}
+	if c.EmbFwd == 0 {
+		c.EmbFwd = c.Fwd
+	}
+	if c.EmbBwd == 0 {
+		c.EmbBwd = 2 * c.EmbFwd
+	}
+	if c.FwdMem == 0 {
+		c.FwdMem = 1
+	}
+	if c.BwdMem == 0 {
+		c.BwdMem = -1
+	}
+	return c
+}
+
+func (c Config) validate(shape string) error {
+	if c.Devices < 2 {
+		return fmt.Errorf("%s: need at least 2 devices, got %d", shape, c.Devices)
+	}
+	if c.Fwd <= 0 || c.Bwd <= 0 || c.EmbFwd <= 0 || c.EmbBwd <= 0 {
+		return fmt.Errorf("%s: block times must be positive", shape)
+	}
+	return nil
+}
+
+func allDevices(d int) []sched.DeviceID {
+	out := make([]sched.DeviceID, d)
+	for i := range out {
+		out[i] = sched.DeviceID(i)
+	}
+	return out
+}
+
+func one(d int) []sched.DeviceID { return []sched.DeviceID{sched.DeviceID(d)} }
+
+// chain links stages sequentially: ids[0] → ids[1] → …
+func chain(p *sched.Placement, ids ...int) {
+	for i := 0; i+1 < len(ids); i++ {
+		p.Deps[ids[i]] = append(p.Deps[ids[i]], ids[i+1])
+	}
+}
+
+// VShape builds the sequential pipeline of Figure 1(a): forward stages
+// f0..f{D−1} on devices 0..D−1, then backward stages in reverse. This is
+// the placement 1F1B and GPipe assume.
+func VShape(c Config) (*sched.Placement, error) {
+	c = c.Defaults()
+	if err := c.validate("v-shape"); err != nil {
+		return nil, err
+	}
+	d := c.Devices
+	p := &sched.Placement{Name: "v-shape", NumDevices: d}
+	for i := 0; i < d; i++ {
+		p.Stages = append(p.Stages, sched.Stage{
+			Name: fmt.Sprintf("f%d", i), Kind: sched.Forward,
+			Time: c.Fwd, Mem: c.FwdMem, Devices: one(i),
+		})
+	}
+	for i := d - 1; i >= 0; i-- {
+		p.Stages = append(p.Stages, sched.Stage{
+			Name: fmt.Sprintf("b%d", i), Kind: sched.Backward,
+			Time: c.Bwd, Mem: c.BwdMem, Devices: one(i),
+		})
+	}
+	p.Deps = make([][]int, len(p.Stages))
+	ids := make([]int, len(p.Stages))
+	for i := range ids {
+		ids[i] = i
+	}
+	chain(p, ids...)
+	return p, nil
+}
+
+// XShape builds the bidirectional pipeline of Figure 1(b) (Chimera): each
+// micro-batch is split into a "down" half flowing device 0→D−1 and an "up"
+// half flowing D−1→0, with per-half block times taken from the config. The
+// two halves are independent chains.
+func XShape(c Config) (*sched.Placement, error) {
+	c = c.Defaults()
+	if err := c.validate("x-shape"); err != nil {
+		return nil, err
+	}
+	d := c.Devices
+	p := &sched.Placement{Name: "x-shape", NumDevices: d}
+	add := func(name string, kind sched.Kind, t, mem, dev int) int {
+		p.Stages = append(p.Stages, sched.Stage{Name: name, Kind: kind, Time: t, Mem: mem, Devices: one(dev)})
+		return len(p.Stages) - 1
+	}
+	var down, up []int
+	for i := 0; i < d; i++ {
+		down = append(down, add(fmt.Sprintf("df%d", i), sched.Forward, c.Fwd, c.FwdMem, i))
+	}
+	for i := d - 1; i >= 0; i-- {
+		down = append(down, add(fmt.Sprintf("db%d", i), sched.Backward, c.Bwd, c.BwdMem, i))
+	}
+	for i := d - 1; i >= 0; i-- {
+		up = append(up, add(fmt.Sprintf("uf%d", i), sched.Forward, c.Fwd, c.FwdMem, i))
+	}
+	for i := 0; i < d; i++ {
+		up = append(up, add(fmt.Sprintf("ub%d", i), sched.Backward, c.Bwd, c.BwdMem, i))
+	}
+	p.Deps = make([][]int, len(p.Stages))
+	chain(p, down...)
+	chain(p, up...)
+	return p, nil
+}
+
+// MShape builds the placement of Figure 1(c) used for GPT with a large
+// embedding: the embedding's forward/backward (and the output projection
+// sharing it) run tensor-parallel across all devices, while transformer
+// stages run sequentially as in V-shape. Chain:
+//
+//	emb.f → f0 → … → f{D−1} → head.f → head.b → b{D−1} → … → b0 → emb.b
+func MShape(c Config) (*sched.Placement, error) {
+	c = c.Defaults()
+	if err := c.validate("m-shape"); err != nil {
+		return nil, err
+	}
+	d := c.Devices
+	p := &sched.Placement{Name: "m-shape", NumDevices: d}
+	add := func(name string, kind sched.Kind, t, mem int, devs []sched.DeviceID) int {
+		p.Stages = append(p.Stages, sched.Stage{Name: name, Kind: kind, Time: t, Mem: mem, Devices: devs})
+		return len(p.Stages) - 1
+	}
+	var ids []int
+	ids = append(ids, add("emb.f", sched.Forward, c.EmbFwd, c.FwdMem, allDevices(d)))
+	for i := 0; i < d; i++ {
+		ids = append(ids, add(fmt.Sprintf("f%d", i), sched.Forward, c.Fwd, c.FwdMem, one(i)))
+	}
+	ids = append(ids, add("head.f", sched.Forward, c.EmbFwd, c.FwdMem, allDevices(d)))
+	ids = append(ids, add("head.b", sched.Backward, c.EmbBwd, c.BwdMem, allDevices(d)))
+	for i := d - 1; i >= 0; i-- {
+		ids = append(ids, add(fmt.Sprintf("b%d", i), sched.Backward, c.Bwd, c.BwdMem, one(i)))
+	}
+	ids = append(ids, add("emb.b", sched.Backward, c.EmbBwd, c.BwdMem, allDevices(d)))
+	p.Deps = make([][]int, len(p.Stages))
+	chain(p, ids...)
+	return p, nil
+}
+
+// NNShape builds the mT5 encoder–decoder placement of Figure 8(d): a shared
+// embedding runs tensor-parallel on all devices; encoder stages flow
+// devices 0→D−1, decoder stages again 0→D−1 (the two "N" strokes), and the
+// backward pass retraces both in reverse before the embedding backward.
+func NNShape(c Config) (*sched.Placement, error) {
+	c = c.Defaults()
+	if err := c.validate("nn-shape"); err != nil {
+		return nil, err
+	}
+	d := c.Devices
+	p := &sched.Placement{Name: "nn-shape", NumDevices: d}
+	add := func(name string, kind sched.Kind, t, mem int, devs []sched.DeviceID) int {
+		p.Stages = append(p.Stages, sched.Stage{Name: name, Kind: kind, Time: t, Mem: mem, Devices: devs})
+		return len(p.Stages) - 1
+	}
+	var ids []int
+	ids = append(ids, add("emb.f", sched.Forward, c.EmbFwd, c.FwdMem, allDevices(d)))
+	for i := 0; i < d; i++ {
+		ids = append(ids, add(fmt.Sprintf("ef%d", i), sched.Forward, c.Fwd, c.FwdMem, one(i)))
+	}
+	for i := 0; i < d; i++ {
+		ids = append(ids, add(fmt.Sprintf("df%d", i), sched.Forward, c.Fwd, c.FwdMem, one(i)))
+	}
+	for i := d - 1; i >= 0; i-- {
+		ids = append(ids, add(fmt.Sprintf("db%d", i), sched.Backward, c.Bwd, c.BwdMem, one(i)))
+	}
+	for i := d - 1; i >= 0; i-- {
+		ids = append(ids, add(fmt.Sprintf("eb%d", i), sched.Backward, c.Bwd, c.BwdMem, one(i)))
+	}
+	ids = append(ids, add("emb.b", sched.Backward, c.EmbBwd, c.BwdMem, allDevices(d)))
+	p.Deps = make([][]int, len(p.Stages))
+	chain(p, ids...)
+	return p, nil
+}
+
+// KShape builds the Flava placement of Figure 1(d)/8(g): two independent
+// modality branches (text on the lower half of devices, vision on the upper
+// half) execute concurrently and join in an all-device tensor-parallel
+// cross encoder; the backward pass fans back out to both branches.
+func KShape(c Config) (*sched.Placement, error) {
+	c = c.Defaults()
+	if err := c.validate("k-shape"); err != nil {
+		return nil, err
+	}
+	d := c.Devices
+	if d%2 != 0 {
+		return nil, fmt.Errorf("k-shape: need an even device count, got %d", d)
+	}
+	h := d / 2
+	p := &sched.Placement{Name: "k-shape", NumDevices: d}
+	add := func(name string, kind sched.Kind, t, mem int, devs []sched.DeviceID) int {
+		p.Stages = append(p.Stages, sched.Stage{Name: name, Kind: kind, Time: t, Mem: mem, Devices: devs})
+		return len(p.Stages) - 1
+	}
+	var tf, vf []int
+	for i := 0; i < h; i++ {
+		tf = append(tf, add(fmt.Sprintf("tf%d", i), sched.Forward, c.Fwd, c.FwdMem, one(i)))
+	}
+	for i := 0; i < h; i++ {
+		vf = append(vf, add(fmt.Sprintf("vf%d", i), sched.Forward, c.Fwd, c.FwdMem, one(h+i)))
+	}
+	xf := add("x.f", sched.Forward, c.EmbFwd, c.FwdMem, allDevices(d))
+	xb := add("x.b", sched.Backward, c.EmbBwd, c.BwdMem, allDevices(d))
+	var tb, vb []int
+	for i := h - 1; i >= 0; i-- {
+		tb = append(tb, add(fmt.Sprintf("tb%d", i), sched.Backward, c.Bwd, c.BwdMem, one(i)))
+	}
+	for i := h - 1; i >= 0; i-- {
+		vb = append(vb, add(fmt.Sprintf("vb%d", i), sched.Backward, c.Bwd, c.BwdMem, one(h+i)))
+	}
+	p.Deps = make([][]int, len(p.Stages))
+	chain(p, append(append([]int{}, tf...), xf)...)
+	chain(p, append(append([]int{}, vf...), xf)...)
+	chain(p, xf, xb)
+	chain(p, append([]int{xb}, tb...)...)
+	chain(p, append([]int{xb}, vb...)...)
+	return p, nil
+}
+
+// Inference derives the inference variant of a training placement: backward
+// blocks are removed (§VI-B: "inference schedules can be easily obtained by
+// selectively excluding the execution of backward blocks"), dependencies
+// are restricted to the remaining blocks, and memory deltas are cleared
+// (inference activations are transient and do not accumulate across
+// micro-batches).
+func Inference(p *sched.Placement) *sched.Placement {
+	keep := make([]int, 0, len(p.Stages))
+	remap := make([]int, len(p.Stages))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i := range p.Stages {
+		if p.Stages[i].Kind != sched.Backward {
+			remap[i] = len(keep)
+			keep = append(keep, i)
+		}
+	}
+	q := &sched.Placement{Name: p.Name + "-inference", NumDevices: p.NumDevices}
+	for _, i := range keep {
+		st := p.Stages[i]
+		st.Mem = 0
+		st.Devices = append([]sched.DeviceID(nil), st.Devices...)
+		q.Stages = append(q.Stages, st)
+	}
+	q.Deps = make([][]int, len(q.Stages))
+	for u, succs := range p.Deps {
+		if remap[u] < 0 {
+			continue
+		}
+		for _, v := range succs {
+			if remap[v] >= 0 {
+				q.Deps[remap[u]] = append(q.Deps[remap[u]], remap[v])
+			}
+		}
+	}
+	return q
+}
+
+// Shapes returns the five named training placements of the paper's ablation
+// studies (Figures 11 and 12) on c.Devices devices.
+func Shapes(c Config) (map[string]*sched.Placement, error) {
+	c = c.Defaults()
+	out := map[string]*sched.Placement{}
+	for _, build := range []struct {
+		name string
+		fn   func(Config) (*sched.Placement, error)
+	}{
+		{"v-shape", VShape},
+		{"x-shape", XShape},
+		{"m-shape", MShape},
+		{"k-shape", KShape},
+		{"nn-shape", NNShape},
+	} {
+		p, err := build.fn(c)
+		if err != nil {
+			return nil, err
+		}
+		out[build.name] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package placement
+
+import (
+	"testing"
+
+	"tessel/internal/sched"
+)
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Devices != 4 || c.Fwd != 1 || c.Bwd != 2 || c.EmbFwd != 1 || c.EmbBwd != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.FwdMem != 1 || c.BwdMem != -1 {
+		t.Fatalf("memory defaults = %+v", c)
+	}
+	// Bwd follows Fwd when only Fwd is set.
+	c = Config{Fwd: 3}.Defaults()
+	if c.Bwd != 6 {
+		t.Fatalf("Bwd = %d, want 6", c.Bwd)
+	}
+}
+
+func TestAllShapesValidate(t *testing.T) {
+	shapes, err := Shapes(Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 5 {
+		t.Fatalf("got %d shapes, want 5", len(shapes))
+	}
+	for name, p := range shapes {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVShapeStructure(t *testing.T) {
+	p, err := VShape(Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 8 {
+		t.Fatalf("K = %d, want 8", p.K())
+	}
+	// Every device has exactly one forward and one backward.
+	for d := 0; d < 4; d++ {
+		ids := p.DeviceStages(sched.DeviceID(d))
+		if len(ids) != 2 {
+			t.Fatalf("device %d has %d stages, want 2", d, len(ids))
+		}
+	}
+	// Balanced: all devices carry fwd+bwd = 3 ticks.
+	if p.LowerBound() != 3 {
+		t.Fatalf("lower bound = %d, want 3", p.LowerBound())
+	}
+}
+
+func TestXShapeStructure(t *testing.T) {
+	p, err := XShape(Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 16 {
+		t.Fatalf("K = %d, want 16", p.K())
+	}
+	// Each device: one fwd + one bwd per direction = 1+1+2+2 = 6 ticks.
+	for d := 0; d < 4; d++ {
+		if w := p.DeviceWork(sched.DeviceID(d)); w != 6 {
+			t.Fatalf("device %d work = %d, want 6", d, w)
+		}
+	}
+	// The two chains are independent: df0 has no path to uf* blocks.
+	order, err := p.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 16 {
+		t.Fatalf("topo covers %d blocks", len(order))
+	}
+}
+
+func TestMShapeStructure(t *testing.T) {
+	p, err := MShape(Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 4+4+4 { // emb.f, head.f, head.b, emb.b + 4 fwd + 4 bwd
+		t.Fatalf("K = %d, want 12", p.K())
+	}
+	// All-device stages occupy every device.
+	for _, name := range []string{"emb.f", "head.f", "head.b", "emb.b"} {
+		id := p.StageIDByName(name)
+		if id < 0 {
+			t.Fatalf("missing stage %s", name)
+		}
+		if len(p.Stages[id].Devices) != 4 {
+			t.Fatalf("%s spans %d devices, want 4", name, len(p.Stages[id].Devices))
+		}
+	}
+	// Balanced work: every device carries emb.f + f + head.f + head.b + b + emb.b.
+	want := 1 + 1 + 1 + 2 + 2 + 2
+	for d := 0; d < 4; d++ {
+		if w := p.DeviceWork(sched.DeviceID(d)); w != want {
+			t.Fatalf("device %d work = %d, want %d", d, w, want)
+		}
+	}
+	// Per-device memory nets to zero (steady-state requirement).
+	for d := 0; d < 4; d++ {
+		net := 0
+		for _, i := range p.DeviceStages(sched.DeviceID(d)) {
+			net += p.Stages[i].Mem
+		}
+		if net != 0 {
+			t.Fatalf("device %d net memory = %d, want 0", d, net)
+		}
+	}
+}
+
+func TestNNShapeStructure(t *testing.T) {
+	p, err := NNShape(Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 2+4*4 {
+		t.Fatalf("K = %d, want 18", p.K())
+	}
+	want := 1 + 1 + 1 + 2 + 2 + 2 // emb.f + ef + df + db + eb + emb.b
+	for d := 0; d < 4; d++ {
+		if w := p.DeviceWork(sched.DeviceID(d)); w != want {
+			t.Fatalf("device %d work = %d, want %d", d, w, want)
+		}
+	}
+}
+
+func TestKShapeStructure(t *testing.T) {
+	p, err := KShape(Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 2+2+2+2+2 {
+		t.Fatalf("K = %d, want 10", p.K())
+	}
+	// x.f depends on both branch heads.
+	xf := p.StageIDByName("x.f")
+	preds := p.Preds(xf)
+	if len(preds) != 2 {
+		t.Fatalf("x.f preds = %v, want two branch heads", preds)
+	}
+	// x.b fans out to both backward branches.
+	xb := p.StageIDByName("x.b")
+	if succs := p.Succs(xb); len(succs) != 2 {
+		t.Fatalf("x.b succs = %v, want two", succs)
+	}
+	if _, err := KShape(Config{Devices: 3}); err == nil {
+		t.Fatal("odd device count accepted")
+	}
+}
+
+func TestKShapeBranchIndependence(t *testing.T) {
+	p, err := KShape(Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tf0 must not reach vf blocks (branches independent until x.f).
+	reach := map[int]bool{}
+	var visit func(int)
+	visit = func(u int) {
+		for _, v := range p.Succs(u) {
+			if !reach[v] {
+				reach[v] = true
+				visit(v)
+			}
+		}
+	}
+	visit(p.StageIDByName("tf0"))
+	if reach[p.StageIDByName("vf0")] {
+		t.Fatal("text branch reaches vision branch before cross encoder")
+	}
+	if !reach[p.StageIDByName("x.f")] {
+		t.Fatal("text branch must reach cross encoder")
+	}
+}
+
+func TestInferenceVariant(t *testing.T) {
+	for _, build := range []func(Config) (*sched.Placement, error){VShape, MShape, NNShape, KShape} {
+		p, err := build(Config{Devices: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := Inference(p)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		for i := range q.Stages {
+			if q.Stages[i].Kind == sched.Backward {
+				t.Fatalf("%s: backward stage survived", q.Name)
+			}
+			if q.Stages[i].Mem != 0 {
+				t.Fatalf("%s: inference stage has memory %d", q.Name, q.Stages[i].Mem)
+			}
+		}
+		// Forward count preserved.
+		nf := 0
+		for i := range p.Stages {
+			if p.Stages[i].Kind != sched.Backward {
+				nf++
+			}
+		}
+		if q.K() != nf {
+			t.Fatalf("%s: K = %d, want %d", q.Name, q.K(), nf)
+		}
+	}
+}
+
+func TestInferenceKeepsDependencies(t *testing.T) {
+	p, err := VShape(Config{Devices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Inference(p)
+	// f0→f1→f2 chain preserved.
+	if len(q.Succs(0)) != 1 || q.Succs(0)[0] != 1 {
+		t.Fatalf("f0 succs = %v", q.Succs(0))
+	}
+	if len(q.Succs(2)) != 0 {
+		t.Fatalf("f2 should be terminal, succs = %v", q.Succs(2))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := VShape(Config{Devices: 1}); err == nil {
+		t.Fatal("1 device accepted")
+	}
+	if _, err := MShape(Config{Devices: 4, Fwd: -1}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}

@@ -1,0 +1,596 @@
+// Package repetend implements the repetend construction phase of Tessel
+// (paper §IV-B): enumerating micro-batch index assignments for one full set
+// of blocks under the pruning Properties 4.1/4.2, solving each candidate
+// instance, and evaluating its steady-state period with the tight
+// inter-repetend compaction of Figure 6.
+//
+// A repetend is one full set of the placement's K blocks with a micro-batch
+// index r_i assigned to each stage i (Equation 3). Consecutive repetend
+// instances shift every micro index by one and every start time by the
+// period. Dependencies between stages with equal indices stay inside an
+// instance; a dependency i→j with lag L = r_i − r_j ≥ 1 crosses L instance
+// boundaries and constrains the period: s_i + t_i ≤ s_j + L·P.
+//
+// For a fixed per-device execution order, the minimum feasible period is
+// the smallest P for which the difference-constraint system
+//
+//	s_j − s_i ≥ t_i             (intra-instance dependency)
+//	s_v − s_u ≥ t_u             (u immediately precedes v on a device)
+//	s_j − s_i ≥ t_i − L·P       (cross-instance dependency, lag L)
+//	s_first − s_last ≥ t_last − P  (device span E_d ≤ P)
+//
+// has a solution, found by binary search over P with Bellman-Ford
+// feasibility checks. Orders come from a minimum-makespan instance solve
+// and are then improved by adjacent-swap local search on the period.
+package repetend
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tessel/internal/sched"
+	"tessel/internal/solver"
+)
+
+// ErrInfeasible reports that no repetend exists for an assignment under the
+// given memory constraints.
+var ErrInfeasible = errors.New("repetend: infeasible")
+
+// Assignment maps each stage i to the micro-batch index r_i its block
+// carries inside the repetend (Equation 3's n_i).
+type Assignment []int
+
+// Validate checks the assignment against placement p: correct length,
+// indices in [0, nr), and Property 4.2 (for every dependency i→j,
+// r_i ≥ r_j). nr ≤ 0 skips the range check.
+func (a Assignment) Validate(p *sched.Placement, nr int) error {
+	if len(a) != p.K() {
+		return fmt.Errorf("assignment length %d != K %d", len(a), p.K())
+	}
+	for i, r := range a {
+		if r < 0 || (nr > 0 && r >= nr) {
+			return fmt.Errorf("stage %d: micro index %d outside [0,%d)", i, r, nr)
+		}
+	}
+	for i, succs := range p.Deps {
+		for _, j := range succs {
+			if a[i] < a[j] {
+				return fmt.Errorf("property 4.2 violated: dep %d→%d with r_%d=%d < r_%d=%d", i, j, i, a[i], j, a[j])
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment { return append(Assignment(nil), a...) }
+
+// Enumerate yields every canonical assignment of micro indices in [0, nr)
+// satisfying Property 4.2, with min index 0 and max index exactly nr−1 (so
+// sweeping nr from 1 upward visits each assignment once). Stages are fixed
+// in topological order; values are tried from the upper bound downward,
+// which reaches pipeline-like assignments (consecutive drops of one) early.
+// yield returning false stops the enumeration. The return value reports
+// whether enumeration ran to completion (false when stopped by yield).
+func Enumerate(p *sched.Placement, nr int, yield func(Assignment) bool) (bool, error) {
+	if nr <= 0 {
+		return false, fmt.Errorf("nr must be positive, got %d", nr)
+	}
+	order, err := p.TopoOrder()
+	if err != nil {
+		return false, err
+	}
+	preds := p.PredTable()
+	k := p.K()
+	assign := make(Assignment, k)
+	for i := range assign {
+		assign[i] = -1
+	}
+	complete := true
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == k {
+			min, max := assign[order[0]], assign[order[0]]
+			for _, r := range assign {
+				if r < min {
+					min = r
+				}
+				if r > max {
+					max = r
+				}
+			}
+			if min != 0 || max != nr-1 {
+				return true
+			}
+			return yield(assign.Clone())
+		}
+		i := order[pos]
+		hi := nr - 1
+		for _, pr := range preds[i] {
+			if assign[pr] < hi {
+				hi = assign[pr]
+			}
+		}
+		for v := hi; v >= 0; v-- {
+			assign[i] = v
+			if !rec(pos + 1) {
+				complete = false
+				return false
+			}
+		}
+		assign[i] = -1
+		return true
+	}
+	rec(0)
+	return complete, nil
+}
+
+// Count returns the number of canonical assignments Enumerate would yield.
+func Count(p *sched.Placement, nr int) (int, error) {
+	n := 0
+	if _, err := Enumerate(p, nr, func(Assignment) bool { n++; return true }); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// EntryMemory returns the per-device memory in use when a steady-state
+// repetend instance begins: for each stage i, the r_i earlier micro-batches
+// of that stage have already started, each contributing Mem (§IV-B,
+// "infer the memory usage at the entry of the repetend").
+func EntryMemory(p *sched.Placement, a Assignment) []int {
+	mem := make([]int, p.NumDevices)
+	for i := range p.Stages {
+		for _, d := range p.Stages[i].Devices {
+			mem[d] += a[i] * p.Stages[i].Mem
+		}
+	}
+	return mem
+}
+
+// Repetend is a solved repetend: the assignment, the relative start time of
+// each stage's block within one instance, and the steady-state timing
+// decomposition of Equation 4.
+type Repetend struct {
+	// P is the placement the repetend schedules.
+	P *sched.Placement
+	// Assign is the micro index per stage.
+	Assign Assignment
+	// NR is the number of micro-batches the construction drew from
+	// (1 + max assigned index).
+	NR int
+	// Starts is the relative start time per stage within one instance
+	// (minimum 0); instance k starts stage i at Starts[i] + k·Period.
+	Starts []int
+	// Period is t_R, the steady-state time between consecutive instances
+	// under tight compaction (Figure 6b).
+	Period int
+	// SimplePeriod is the period under simple compaction (Figure 6a): the
+	// next instance waits for the whole previous instance.
+	SimplePeriod int
+	// Spans holds E_d per device: last finish − first start (Equation 4).
+	Spans []int
+	// Waits holds W_d per device: Period − E_d, the inter-instance idle.
+	Waits []int
+	// EntryMem is the per-device memory at instance entry.
+	EntryMem []int
+}
+
+// SolveOptions configures repetend solving.
+type SolveOptions struct {
+	// Memory is the per-device capacity (0 means unbounded).
+	Memory int
+	// SolverNodes / SolverTimeout bound the instance makespan solve.
+	SolverNodes   int64
+	SolverTimeout time.Duration
+	// SimpleCompaction evaluates the repetend with Figure 6(a) semantics
+	// (ablation); default is tight compaction.
+	SimpleCompaction bool
+	// DisableLocalSearch turns off the adjacent-swap order improvement.
+	DisableLocalSearch bool
+}
+
+// Solve constructs and evaluates the repetend for one assignment. It
+// returns ErrInfeasible (wrapped) when memory constraints rule it out.
+func Solve(p *sched.Placement, a Assignment, opts SolveOptions) (*Repetend, error) {
+	if err := a.Validate(p, 0); err != nil {
+		return nil, err
+	}
+	mem := opts.Memory
+	if mem == 0 {
+		mem = sched.Unbounded
+	}
+	entry := EntryMemory(p, a)
+	for d, m := range entry {
+		if m > mem {
+			return nil, fmt.Errorf("%w: entry memory %d on device %d exceeds %d", ErrInfeasible, m, d, mem)
+		}
+	}
+	// Per-device memory must net to zero per instance or the steady state
+	// drifts without bound.
+	if mem != sched.Unbounded {
+		for d := 0; d < p.NumDevices; d++ {
+			net := 0
+			for _, i := range p.DeviceStages(sched.DeviceID(d)) {
+				net += p.Stages[i].Mem
+			}
+			if net != 0 {
+				return nil, fmt.Errorf("%w: device %d memory nets %+d per instance", ErrInfeasible, d, net)
+			}
+		}
+	}
+	// Minimum-makespan instance solve to obtain per-device orders.
+	blocks := make([]sched.Block, p.K())
+	for i := range blocks {
+		blocks[i] = sched.Block{Stage: i, Micro: a[i]}
+	}
+	tasks, err := solver.BuildTasks(p, blocks, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.Solve(tasks, solver.Options{
+		NumDevices: p.NumDevices,
+		Memory:     mem,
+		InitialMem: entry,
+		MaxNodes:   opts.SolverNodes,
+		Timeout:    opts.SolverTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		return nil, fmt.Errorf("%w: no instance schedule within memory", ErrInfeasible)
+	}
+	// Map task starts back to per-stage starts.
+	starts := make([]int, p.K())
+	for ti, task := range tasks {
+		starts[task.ID.Stage] = res.Starts[ti]
+	}
+	inst := newInstance(p, a, entry, mem)
+	r := &Repetend{
+		P:        p,
+		Assign:   a.Clone(),
+		NR:       maxOf(a) + 1,
+		EntryMem: entry,
+	}
+	normalize(starts)
+	r.SimplePeriod = makespanOf(p, starts)
+	if opts.SimpleCompaction {
+		r.Starts = starts
+		r.Period = r.SimplePeriod
+	} else {
+		orders := ordersFromStarts(p, starts)
+		period, tightStarts, ok := inst.minPeriod(orders)
+		if !ok {
+			return nil, fmt.Errorf("repetend: period repair failed for a feasible order")
+		}
+		if !opts.DisableLocalSearch {
+			period, tightStarts, orders = inst.localSearch(orders, period, tightStarts)
+		}
+		r.Starts = tightStarts
+		r.Period = period
+	}
+	r.computeSpans()
+	return r, nil
+}
+
+func maxOf(a Assignment) int {
+	m := 0
+	for _, v := range a {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func normalize(starts []int) {
+	if len(starts) == 0 {
+		return
+	}
+	min := starts[0]
+	for _, s := range starts[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	for i := range starts {
+		starts[i] -= min
+	}
+}
+
+func makespanOf(p *sched.Placement, starts []int) int {
+	end := 0
+	for i, s := range starts {
+		if e := s + p.Stages[i].Time; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+func (r *Repetend) computeSpans() {
+	d := r.P.NumDevices
+	r.Spans = make([]int, d)
+	r.Waits = make([]int, d)
+	for dev := 0; dev < d; dev++ {
+		first, last := -1, -1
+		for _, i := range r.P.DeviceStages(sched.DeviceID(dev)) {
+			s, e := r.Starts[i], r.Starts[i]+r.P.Stages[i].Time
+			if first < 0 || s < first {
+				first = s
+			}
+			if e > last {
+				last = e
+			}
+		}
+		if first < 0 {
+			continue // device idle in this placement
+		}
+		r.Spans[dev] = last - first
+		r.Waits[dev] = r.Period - r.Spans[dev]
+	}
+}
+
+// Schedule returns the instance-0 schedule (relative time, assigned micros).
+func (r *Repetend) Schedule() *sched.Schedule {
+	s := sched.NewSchedule(r.P)
+	for i, st := range r.Starts {
+		s.Add(i, r.Assign[i], st)
+	}
+	s.Sort()
+	return s
+}
+
+// Unroll returns k consecutive instances: instance j shifts every start by
+// j·Period and every micro index by j.
+func (r *Repetend) Unroll(k int) *sched.Schedule {
+	s := sched.NewSchedule(r.P)
+	for j := 0; j < k; j++ {
+		for i, st := range r.Starts {
+			s.Add(i, r.Assign[i]+j, st+j*r.Period)
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// SteadyBubbleRate returns the steady-state bubble rate of the repetend:
+// 1 − Σ_d work_d / (D·Period).
+func (r *Repetend) SteadyBubbleRate() float64 {
+	if r.Period == 0 {
+		return 0
+	}
+	total := 0
+	for d := 0; d < r.P.NumDevices; d++ {
+		total += r.P.DeviceWork(sched.DeviceID(d))
+	}
+	return 1 - float64(total)/float64(r.P.NumDevices*r.Period)
+}
+
+// instance carries the dependency structure of one repetend instance.
+type instance struct {
+	p     *sched.Placement
+	a     Assignment
+	entry []int
+	mem   int
+	// intra edges (same micro) and cross edges with lag ≥ 1.
+	intra [][2]int // (i, j): s_j ≥ s_i + t_i
+	cross []crossEdge
+	reach [][]bool // transitive closure over intra edges
+}
+
+type crossEdge struct {
+	from, to, lag int
+}
+
+func newInstance(p *sched.Placement, a Assignment, entry []int, mem int) *instance {
+	in := &instance{p: p, a: a, entry: entry, mem: mem}
+	k := p.K()
+	in.reach = make([][]bool, k)
+	for i := range in.reach {
+		in.reach[i] = make([]bool, k)
+	}
+	for i, succs := range p.Deps {
+		for _, j := range succs {
+			switch lag := a[i] - a[j]; {
+			case lag == 0:
+				in.intra = append(in.intra, [2]int{i, j})
+				in.reach[i][j] = true
+			case lag > 0:
+				in.cross = append(in.cross, crossEdge{from: i, to: j, lag: lag})
+			}
+		}
+	}
+	// Transitive closure (Floyd-Warshall on booleans; K is small).
+	for m := 0; m < k; m++ {
+		for i := 0; i < k; i++ {
+			if !in.reach[i][m] {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if in.reach[m][j] {
+					in.reach[i][j] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+func ordersFromStarts(p *sched.Placement, starts []int) [][]int {
+	orders := make([][]int, p.NumDevices)
+	for d := 0; d < p.NumDevices; d++ {
+		ids := p.DeviceStages(sched.DeviceID(d))
+		sort.Slice(ids, func(x, y int) bool { return starts[ids[x]] < starts[ids[y]] })
+		orders[d] = ids
+	}
+	return orders
+}
+
+// diffEdge is a difference constraint s_to ≥ s_from + base − coeff·P.
+type diffEdge struct {
+	from, to, base, coeff int
+}
+
+// buildEdges assembles the difference-constraint system for the given
+// per-device orders; period-dependent weights carry a coefficient.
+func (in *instance) buildEdges(orders [][]int) []diffEdge {
+	edges := make([]diffEdge, 0, len(in.intra)+len(in.cross)+2*in.p.K())
+	for _, e := range in.intra {
+		edges = append(edges, diffEdge{e[0], e[1], in.p.Stages[e[0]].Time, 0})
+	}
+	for _, o := range orders {
+		for x := 0; x+1 < len(o); x++ {
+			edges = append(edges, diffEdge{o[x], o[x+1], in.p.Stages[o[x]].Time, 0})
+		}
+		if len(o) > 1 {
+			first, last := o[0], o[len(o)-1]
+			edges = append(edges, diffEdge{last, first, in.p.Stages[last].Time, 1})
+		}
+	}
+	for _, c := range in.cross {
+		edges = append(edges, diffEdge{c.from, c.to, in.p.Stages[c.from].Time, c.lag})
+	}
+	return edges
+}
+
+// feasibleEdges runs Bellman-Ford on the difference constraints at period P
+// and fills dist with the minimal non-negative start times; it reports ok =
+// false on a positive cycle (infeasible period).
+func feasibleEdges(edges []diffEdge, dist []int, period int) bool {
+	for i := range dist {
+		dist[i] = 0
+	}
+	for iter := 0; iter <= len(dist); iter++ {
+		changed := false
+		for _, e := range edges {
+			if d := dist[e.from] + e.base - e.coeff*period; d > dist[e.to] {
+				dist[e.to] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// memoryOK checks the per-device prefix memory of the given orders against
+// the instance entry memory.
+func (in *instance) memoryOK(orders [][]int) bool {
+	if in.mem == sched.Unbounded {
+		return true
+	}
+	for d, o := range orders {
+		m := in.entry[d]
+		for _, i := range o {
+			m += in.p.Stages[i].Mem
+			if m > in.mem {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// minPeriod binary-searches the smallest feasible period for fixed orders.
+func (in *instance) minPeriod(orders [][]int) (int, []int, bool) {
+	lo := 1
+	for d := 0; d < in.p.NumDevices; d++ {
+		if w := in.p.DeviceWork(sched.DeviceID(d)); w > lo {
+			lo = w
+		}
+	}
+	hi := 0
+	for i := range in.p.Stages {
+		hi += in.p.Stages[i].Time
+	}
+	if hi < lo {
+		hi = lo
+	}
+	edges := in.buildEdges(orders)
+	dist := make([]int, in.p.K())
+	if !feasibleEdges(edges, dist, hi) {
+		return 0, nil, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasibleEdges(edges, dist, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !feasibleEdges(edges, dist, lo) {
+		return 0, nil, false
+	}
+	starts := append([]int(nil), dist...)
+	normalize(starts)
+	return lo, starts, true
+}
+
+// localSearch improves the period by swapping adjacent order pairs that are
+// not dependency-ordered, re-checking memory and period after each swap.
+func (in *instance) localSearch(orders [][]int, period int, starts []int) (int, []int, [][]int) {
+	maxPasses := in.p.K() * in.p.K()
+	lower := 1
+	for d := 0; d < in.p.NumDevices; d++ {
+		if w := in.p.DeviceWork(sched.DeviceID(d)); w > lower {
+			lower = w
+		}
+	}
+	for pass := 0; pass < maxPasses && period > lower; pass++ {
+		improved := false
+		for d := range orders {
+			o := orders[d]
+			for x := 0; x+1 < len(o); x++ {
+				u, v := o[x], o[x+1]
+				if in.reach[u][v] {
+					continue // dependency-forced order
+				}
+				cand := swapEverywhere(orders, u, v)
+				if cand == nil || !in.memoryOK(cand) {
+					continue
+				}
+				if p2, s2, ok := in.minPeriod(cand); ok && p2 < period {
+					orders, period, starts = cand, p2, s2
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return period, starts, orders
+}
+
+// swapEverywhere swaps u and v in every device order where both appear; it
+// returns nil when they appear non-adjacently somewhere (swap undefined).
+func swapEverywhere(orders [][]int, u, v int) [][]int {
+	out := make([][]int, len(orders))
+	for d, o := range orders {
+		iu, iv := -1, -1
+		for x, id := range o {
+			if id == u {
+				iu = x
+			}
+			if id == v {
+				iv = x
+			}
+		}
+		cp := append([]int(nil), o...)
+		if iu >= 0 && iv >= 0 {
+			if iv-iu != 1 && iu-iv != 1 {
+				return nil
+			}
+			cp[iu], cp[iv] = cp[iv], cp[iu]
+		}
+		out[d] = cp
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+package repetend
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tessel/internal/placement"
+	"tessel/internal/sched"
+)
+
+func vshape(t *testing.T, d int) *sched.Placement {
+	t.Helper()
+	p, err := placement.VShape(placement.Config{Devices: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEnumerateNR1(t *testing.T) {
+	p := vshape(t, 4)
+	var got []Assignment
+	complete, err := Enumerate(p, 1, func(a Assignment) bool {
+		got = append(got, a)
+		return true
+	})
+	if err != nil || !complete {
+		t.Fatalf("complete=%v err=%v", complete, err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("NR=1 should yield exactly the all-zero assignment, got %d", len(got))
+	}
+	for _, r := range got[0] {
+		if r != 0 {
+			t.Fatalf("assignment = %v", got[0])
+		}
+	}
+}
+
+func TestEnumerateCanonicalAndPruned(t *testing.T) {
+	p := vshape(t, 3) // chain of 6 stages
+	for nr := 1; nr <= 4; nr++ {
+		n := 0
+		if _, err := Enumerate(p, nr, func(a Assignment) bool {
+			n++
+			if err := a.Validate(p, nr); err != nil {
+				t.Fatalf("nr=%d: %v", nr, err)
+			}
+			min, max := a[0], a[0]
+			for _, r := range a {
+				if r < min {
+					min = r
+				}
+				if r > max {
+					max = r
+				}
+			}
+			if min != 0 || max != nr-1 {
+				t.Fatalf("nr=%d non-canonical assignment %v", nr, a)
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("nr=%d yielded nothing", nr)
+		}
+	}
+}
+
+func TestEnumerateCountsChain(t *testing.T) {
+	// For a chain of K stages, assignments are non-increasing sequences over
+	// [0,nr) hitting both 0 and nr−1. Counting via Enumerate must match a
+	// direct combinatorial recount.
+	p := vshape(t, 2) // chain of 4
+	for nr := 1; nr <= 4; nr++ {
+		got, err := Count(p, nr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		var rec func(pos, prev int, saw0, sawMax bool)
+		rec = func(pos, prev int, saw0, sawMax bool) {
+			if pos == 4 {
+				if saw0 && sawMax {
+					want++
+				}
+				return
+			}
+			for v := 0; v <= prev; v++ {
+				rec(pos+1, v, saw0 || v == 0, sawMax || v == nr-1)
+			}
+		}
+		rec(0, nr-1, false, false)
+		if got != want {
+			t.Fatalf("nr=%d: Count=%d want %d", nr, got, want)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	p := vshape(t, 4)
+	n := 0
+	complete, err := Enumerate(p, 3, func(Assignment) bool {
+		n++
+		return n < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete || n != 2 {
+		t.Fatalf("complete=%v n=%d, want stopped after 2", complete, n)
+	}
+}
+
+func TestEnumerateBadNR(t *testing.T) {
+	p := vshape(t, 4)
+	if _, err := Enumerate(p, 0, func(Assignment) bool { return true }); err == nil {
+		t.Fatal("nr=0 accepted")
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	p := vshape(t, 2) // f0→f1→b1→b0
+	good := Assignment{1, 0, 0, 0}
+	if err := good.Validate(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	bad := Assignment{0, 1, 0, 0} // f0 index < f1 index violates 4.2
+	if err := bad.Validate(p, 2); err == nil {
+		t.Fatal("property 4.2 violation accepted")
+	}
+	short := Assignment{0}
+	if err := short.Validate(p, 2); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	outOfRange := Assignment{5, 0, 0, 0}
+	if err := outOfRange.Validate(p, 2); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestEntryMemory(t *testing.T) {
+	p := vshape(t, 4)
+	// 1F1B-like assignment: f indices 3,2,1,0; b indices all 0.
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	mem := EntryMemory(p, a)
+	want := []int{3, 2, 1, 0} // r_i forwards (+1 each) started, no backwards
+	for d := range want {
+		if mem[d] != want[d] {
+			t.Fatalf("device %d entry = %d, want %d", d, mem[d], want[d])
+		}
+	}
+}
+
+func TestSolveVShapeZeroBubbleAtNR4(t *testing.T) {
+	// The pipeline assignment on V-shape (fwd=1,bwd=2) admits period 3 =
+	// the per-device work: a zero-bubble repetend, as Figure 11 reports for
+	// NR = D = 4.
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	r, err := Solve(p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Period != 3 {
+		t.Fatalf("period = %d, want 3 (zero bubble)", r.Period)
+	}
+	if br := r.SteadyBubbleRate(); br != 0 {
+		t.Fatalf("bubble rate = %f, want 0", br)
+	}
+	if r.NR != 4 {
+		t.Fatalf("NR = %d, want 4", r.NR)
+	}
+	// Simple compaction can never beat tight compaction.
+	if r.SimplePeriod < r.Period {
+		t.Fatalf("simple period %d < tight period %d", r.SimplePeriod, r.Period)
+	}
+}
+
+func TestSolveSimpleCompactionAblation(t *testing.T) {
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	tight, err := Solve(p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple, err := Solve(p, a, SolveOptions{SimpleCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simple.Period < tight.Period {
+		t.Fatalf("simple %d beats tight %d", simple.Period, tight.Period)
+	}
+	if simple.Period != simple.SimplePeriod {
+		t.Fatalf("simple compaction should use the simple period")
+	}
+}
+
+func TestSolveSpansAndWaits(t *testing.T) {
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	r, err := Solve(p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		if r.Spans[d]+r.Waits[d] != r.Period {
+			t.Fatalf("device %d: span %d + wait %d != period %d", d, r.Spans[d], r.Waits[d], r.Period)
+		}
+		if r.Spans[d] < p.DeviceWork(sched.DeviceID(d)) {
+			t.Fatalf("device %d: span %d below work", d, r.Spans[d])
+		}
+	}
+}
+
+func TestSolveSequentialAssignment(t *testing.T) {
+	// All-zero assignment = sequential execution: period is the full chain.
+	p := vshape(t, 4)
+	a := Assignment{0, 0, 0, 0, 0, 0, 0, 0}
+	r, err := Solve(p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Period != 12 {
+		t.Fatalf("period = %d, want 12 (full chain)", r.Period)
+	}
+	if br := r.SteadyBubbleRate(); br < 0.74 || br > 0.76 {
+		t.Fatalf("bubble = %f, want 0.75", br)
+	}
+}
+
+func TestSolveRejectsEntryMemoryOverflow(t *testing.T) {
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0} // device 0 entry memory 3
+	_, err := Solve(p, a, SolveOptions{Memory: 2})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveRejectsMemoryDrift(t *testing.T) {
+	p := vshape(t, 2)
+	p.Stages[0].Mem = 2 // forward +2, backward −1: net +1 per instance
+	a := Assignment{0, 0, 0, 0}
+	_, err := Solve(p, a, SolveOptions{Memory: 10})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible (drift)", err)
+	}
+}
+
+func TestUnrollValidates(t *testing.T) {
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	r, err := Solve(p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 5} {
+		s := r.Unroll(k)
+		if s.Len() != k*p.K() {
+			t.Fatalf("unroll(%d) has %d items", k, s.Len())
+		}
+		if err := s.Validate(sched.ValidateOptions{Memory: sched.Unbounded}); err != nil {
+			t.Fatalf("unroll(%d): %v", k, err)
+		}
+	}
+}
+
+func TestUnrollMicroProgression(t *testing.T) {
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	r, err := Solve(p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Unroll(3)
+	// Stage 3 (f3) appears with micros 0,1,2 at starts spaced by the period.
+	var starts []int
+	for _, it := range s.Items {
+		if it.Stage == 3 {
+			starts = append(starts, it.Start)
+		}
+	}
+	if len(starts) != 3 {
+		t.Fatalf("stage 3 appears %d times", len(starts))
+	}
+	for j := 1; j < 3; j++ {
+		if starts[j]-starts[j-1] != r.Period {
+			t.Fatalf("instance spacing %d != period %d", starts[j]-starts[j-1], r.Period)
+		}
+	}
+}
+
+func TestScheduleAccessor(t *testing.T) {
+	p := vshape(t, 2)
+	a := Assignment{1, 0, 0, 0}
+	r, err := Solve(p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Schedule()
+	if s.Len() != 4 {
+		t.Fatalf("schedule has %d items", s.Len())
+	}
+	if err := s.Validate(sched.ValidateOptions{Memory: sched.Unbounded}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolvedRepetendsAlwaysUnrollValid is the central property: any
+// enumerated assignment that solves successfully yields an unrolled
+// steady-state schedule passing full validation with its entry memory.
+func TestSolvedRepetendsAlwaysUnrollValid(t *testing.T) {
+	shapes := map[string]*sched.Placement{}
+	all, err := placement.Shapes(placement.Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range all {
+		if name == "x-shape" {
+			continue // enumeration space too large for a unit test
+		}
+		shapes[name] = p
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"v-shape", "m-shape", "k-shape", "nn-shape"}
+		p := shapes[names[rng.Intn(len(names))]]
+		nr := 1 + rng.Intn(3)
+		// Pick a random assignment from the enumeration.
+		var candidates []Assignment
+		if _, err := Enumerate(p, nr, func(a Assignment) bool {
+			candidates = append(candidates, a)
+			return len(candidates) < 200
+		}); err != nil {
+			return false
+		}
+		if len(candidates) == 0 {
+			return true
+		}
+		a := candidates[rng.Intn(len(candidates))]
+		mem := 4 + rng.Intn(8)
+		r, err := Solve(p, a, SolveOptions{Memory: mem})
+		if errors.Is(err, ErrInfeasible) {
+			return true
+		}
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		s := r.Unroll(3)
+		if err := s.Validate(sched.ValidateOptions{Memory: mem, InitialMem: r.EntryMem}); err != nil {
+			t.Logf("seed %d shape %s assign %v: %v", seed, p.Name, a, err)
+			return false
+		}
+		// Period can never undercut the busiest device.
+		if r.Period < p.LowerBound() {
+			t.Logf("seed %d: period %d below lower bound %d", seed, r.Period, p.LowerBound())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalSearchNeverWorsens(t *testing.T) {
+	p := vshape(t, 4)
+	var checked int
+	if _, err := Enumerate(p, 3, func(a Assignment) bool {
+		with, err1 := Solve(p, a, SolveOptions{})
+		without, err2 := Solve(p, a, SolveOptions{DisableLocalSearch: true})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("solve: %v / %v", err1, err2)
+		}
+		if with.Period > without.Period {
+			t.Fatalf("assignment %v: local search worsened %d → %d", a, without.Period, with.Period)
+		}
+		checked++
+		return checked < 30
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package runtime instantiates searched schedules for execution (paper
+// §IV-D): it turns a sched.Schedule into per-device instruction programs,
+// inserting communication primitives between data-dependent blocks that
+// live on different devices.
+//
+// Two properties from the paper are preserved:
+//
+//   - Topological-sort placement: blocks are linearized globally (same start
+//     times consecutive, per-device order respected) and each send/receive
+//     pair is placed right after the block producing the tensor. Every
+//     device derives its program from the same global sequence, so pairs of
+//     sends and receives appear in a consistent order on both endpoints and
+//     cannot deadlock.
+//   - Non-blocking communication (Figure 7): communication ops are marked
+//     non-blocking so the simulator runs them on separate send/receive
+//     streams, with dependent compute blocks awaiting tensor arrival — the
+//     message-manager semantics of §V.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"tessel/internal/sched"
+)
+
+// OpKind discriminates program instructions.
+type OpKind int
+
+const (
+	// OpCompute executes one block on the device.
+	OpCompute OpKind = iota
+	// OpSend transfers a tensor to Peer.
+	OpSend
+	// OpRecv receives a tensor from Peer.
+	OpRecv
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// TensorID identifies one tensor transfer: the producing block, the
+// consuming block, and the destination device (a producer may feed several
+// consumers and devices).
+type TensorID struct {
+	From sched.Block
+	To   sched.Block
+	Dst  sched.DeviceID
+}
+
+// Op is one instruction in a device program.
+type Op struct {
+	// Kind selects compute, send or recv.
+	Kind OpKind
+	// Block is the executed block (compute) or the producing block (comm).
+	Block sched.Block
+	// Peer is the other endpoint of a transfer.
+	Peer sched.DeviceID
+	// Tensor identifies the transfer for send/recv matching.
+	Tensor TensorID
+	// Bytes is the transfer size.
+	Bytes int64
+	// NonBlocking marks comm ops that run on dedicated streams.
+	NonBlocking bool
+}
+
+// Program is the instantiated executable: one instruction list per device.
+type Program struct {
+	// P is the placement the program executes.
+	P *sched.Placement
+	// PerDevice holds each device's instruction sequence.
+	PerDevice [][]Op
+	// NonBlocking records the instantiation mode.
+	NonBlocking bool
+}
+
+// Options configures instantiation.
+type Options struct {
+	// NonBlocking inserts comm ops on dedicated streams (Figure 7(b));
+	// false yields blocking communication (Figure 7(a)).
+	NonBlocking bool
+	// Bytes returns the tensor size for a dependency edge; nil defaults to
+	// DefaultTensorBytes for every edge.
+	Bytes func(from, to sched.Block) int64
+}
+
+// DefaultTensorBytes is the tensor size used when Options.Bytes is nil.
+const DefaultTensorBytes = 1 << 20
+
+// Instantiate converts a complete schedule into per-device programs with
+// communication primitives inserted.
+func Instantiate(s *sched.Schedule, opts Options) (*Program, error) {
+	if s == nil || s.P == nil {
+		return nil, fmt.Errorf("runtime: nil schedule")
+	}
+	p := s.P
+	bytesOf := opts.Bytes
+	if bytesOf == nil {
+		bytesOf = func(_, _ sched.Block) int64 { return DefaultTensorBytes }
+	}
+	// Global sequence: sort by start time; same-start blocks consecutive,
+	// deterministic tie-break by (lowest device, stage, micro). Dependencies
+	// always have strictly increasing start times (positive durations), so
+	// this order is topological.
+	items := append([]sched.Item(nil), s.Items...)
+	sort.Slice(items, func(a, b int) bool {
+		x, y := items[a], items[b]
+		if x.Start != y.Start {
+			return x.Start < y.Start
+		}
+		dx, dy := p.Stages[x.Stage].Devices[0], p.Stages[y.Stage].Devices[0]
+		if dx != dy {
+			return dx < dy
+		}
+		if x.Stage != y.Stage {
+			return x.Stage < y.Stage
+		}
+		return x.Micro < y.Micro
+	})
+	index := make(map[sched.Block]sched.Item, len(items))
+	for _, it := range items {
+		if _, dup := index[it.Block]; dup {
+			return nil, fmt.Errorf("runtime: block %v scheduled twice", it.Block)
+		}
+		index[it.Block] = it
+	}
+	prog := &Program{P: p, NonBlocking: opts.NonBlocking}
+	prog.PerDevice = make([][]Op, p.NumDevices)
+	onDevice := func(devs []sched.DeviceID, d sched.DeviceID) bool {
+		for _, x := range devs {
+			if x == d {
+				return true
+			}
+		}
+		return false
+	}
+	for _, it := range items {
+		st := &p.Stages[it.Stage]
+		for _, d := range st.Devices {
+			prog.PerDevice[d] = append(prog.PerDevice[d], Op{
+				Kind:  OpCompute,
+				Block: it.Block,
+			})
+		}
+		// Emit transfers for each dependent block on foreign devices, right
+		// after the producing block (§IV-D topological-sort placement).
+		for _, succ := range p.Deps[it.Stage] {
+			consumer := sched.Block{Stage: succ, Micro: it.Micro}
+			if _, ok := index[consumer]; !ok {
+				continue // partial schedule: consumer not present
+			}
+			src := st.Devices[0]
+			for _, cd := range p.Stages[succ].Devices {
+				if onDevice(st.Devices, cd) {
+					continue // tensor already resident
+				}
+				t := TensorID{From: it.Block, To: consumer, Dst: cd}
+				nb := opts.NonBlocking
+				bytes := bytesOf(it.Block, consumer)
+				prog.PerDevice[src] = append(prog.PerDevice[src], Op{
+					Kind: OpSend, Block: it.Block, Peer: cd, Tensor: t,
+					Bytes: bytes, NonBlocking: nb,
+				})
+				prog.PerDevice[cd] = append(prog.PerDevice[cd], Op{
+					Kind: OpRecv, Block: it.Block, Peer: src, Tensor: t,
+					Bytes: bytes, NonBlocking: nb,
+				})
+			}
+		}
+	}
+	return prog, nil
+}
+
+// Sends counts the send instructions in the program.
+func (pr *Program) Sends() int {
+	n := 0
+	for _, ops := range pr.PerDevice {
+		for _, op := range ops {
+			if op.Kind == OpSend {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ComputeOps counts compute instructions across devices (tensor-parallel
+// blocks count once per participating device).
+func (pr *Program) ComputeOps() int {
+	n := 0
+	for _, ops := range pr.PerDevice {
+		for _, op := range ops {
+			if op.Kind == OpCompute {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CheckPairing verifies every send has exactly one matching recv on the
+// peer device and that, for each (src,dst) device pair, sends and recvs
+// appear in the same relative order — the deadlock-freedom invariant of the
+// topological-sort insertion.
+func (pr *Program) CheckPairing() error {
+	type key struct{ src, dst sched.DeviceID }
+	sends := map[key][]TensorID{}
+	recvs := map[key][]TensorID{}
+	for d, ops := range pr.PerDevice {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpSend:
+				k := key{sched.DeviceID(d), op.Peer}
+				sends[k] = append(sends[k], op.Tensor)
+			case OpRecv:
+				k := key{op.Peer, sched.DeviceID(d)}
+				recvs[k] = append(recvs[k], op.Tensor)
+			}
+		}
+	}
+	for k, ss := range sends {
+		rr := recvs[k]
+		if len(ss) != len(rr) {
+			return fmt.Errorf("runtime: %d sends vs %d recvs on link %d→%d", len(ss), len(rr), k.src, k.dst)
+		}
+		for i := range ss {
+			if ss[i] != rr[i] {
+				return fmt.Errorf("runtime: link %d→%d misordered at %d: send %+v vs recv %+v", k.src, k.dst, i, ss[i], rr[i])
+			}
+		}
+	}
+	for k, rr := range recvs {
+		if len(sends[k]) != len(rr) {
+			return fmt.Errorf("runtime: recv without send on link %d→%d", k.src, k.dst)
+		}
+	}
+	return nil
+}
+
+// Tensors lists the TensorIDs a compute block must await (its remote
+// inputs), derived from the program's recv ops.
+func (pr *Program) Tensors() map[sched.Block][]TensorID {
+	out := map[sched.Block][]TensorID{}
+	for _, ops := range pr.PerDevice {
+		for _, op := range ops {
+			if op.Kind == OpRecv {
+				out[op.Tensor.To] = append(out[op.Tensor.To], op.Tensor)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"testing"
+
+	"tessel/internal/baseline"
+	"tessel/internal/placement"
+	"tessel/internal/sched"
+)
+
+func vshapeSchedule(t *testing.T, d, n int) *sched.Schedule {
+	t.Helper()
+	p, err := placement.VShape(placement.Config{Devices: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.OneFOneB(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInstantiateBasics(t *testing.T) {
+	s := vshapeSchedule(t, 4, 4)
+	prog, err := Instantiate(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.PerDevice) != 4 {
+		t.Fatalf("programs for %d devices", len(prog.PerDevice))
+	}
+	// 4 micros × 8 single-device blocks = 32 compute ops.
+	if got := prog.ComputeOps(); got != 32 {
+		t.Fatalf("compute ops = %d, want 32", got)
+	}
+	// Each micro crosses 3 fwd links + 3 bwd links = 6 transfers.
+	if got := prog.Sends(); got != 24 {
+		t.Fatalf("sends = %d, want 24", got)
+	}
+	if err := prog.CheckPairing(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstantiatePairingConsistentOrder(t *testing.T) {
+	// The central §IV-D guarantee on a denser schedule.
+	s := vshapeSchedule(t, 4, 16)
+	for _, nb := range []bool{false, true} {
+		prog, err := Instantiate(s, Options{NonBlocking: nb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prog.CheckPairing(); err != nil {
+			t.Fatalf("nonblocking=%v: %v", nb, err)
+		}
+		if prog.NonBlocking != nb {
+			t.Fatal("mode not recorded")
+		}
+	}
+}
+
+func TestInstantiateNonBlockingFlag(t *testing.T) {
+	s := vshapeSchedule(t, 2, 2)
+	prog, err := Instantiate(s, Options{NonBlocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ops := range prog.PerDevice {
+		for _, op := range ops {
+			if op.Kind != OpCompute && !op.NonBlocking {
+				t.Fatal("comm op not marked non-blocking")
+			}
+		}
+	}
+}
+
+func TestInstantiateTPNoSelfComm(t *testing.T) {
+	// M-shape: the all-device embedding feeds f0 on device 0; no transfer is
+	// needed into devices already holding the tensor.
+	p, err := placement.MShape(placement.Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.OneFOneBPlus(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Instantiate(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, ops := range prog.PerDevice {
+		for _, op := range ops {
+			if op.Kind == OpSend && op.Peer == sched.DeviceID(d) {
+				t.Fatal("self-send emitted")
+			}
+		}
+	}
+	// emb.f → f0: both resident on device 0 ⇒ no transfer for that edge.
+	embF := p.StageIDByName("emb.f")
+	f0 := p.StageIDByName("f0")
+	for _, ops := range prog.PerDevice {
+		for _, op := range ops {
+			if op.Kind == OpSend && op.Tensor.From.Stage == embF && op.Tensor.To.Stage == f0 {
+				t.Fatalf("unnecessary transfer %+v", op.Tensor)
+			}
+		}
+	}
+	if err := prog.CheckPairing(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstantiateBytesCallback(t *testing.T) {
+	s := vshapeSchedule(t, 2, 1)
+	prog, err := Instantiate(s, Options{
+		Bytes: func(from, to sched.Block) int64 { return 42 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ops := range prog.PerDevice {
+		for _, op := range ops {
+			if op.Kind != OpCompute && op.Bytes != 42 {
+				t.Fatalf("bytes = %d", op.Bytes)
+			}
+		}
+	}
+}
+
+func TestInstantiateComputeOrderMatchesSchedule(t *testing.T) {
+	s := vshapeSchedule(t, 4, 8)
+	prog, err := Instantiate(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := s.DeviceOrder()
+	for d, ops := range prog.PerDevice {
+		var got []sched.Block
+		for _, op := range ops {
+			if op.Kind == OpCompute {
+				got = append(got, op.Block)
+			}
+		}
+		if len(got) != len(order[d]) {
+			t.Fatalf("device %d: %d compute ops vs %d scheduled", d, len(got), len(order[d]))
+		}
+		for i := range got {
+			if got[i] != order[d][i] {
+				t.Fatalf("device %d position %d: %v vs %v", d, i, got[i], order[d][i])
+			}
+		}
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	if _, err := Instantiate(nil, Options{}); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	s := vshapeSchedule(t, 2, 1)
+	s.Add(0, 0, 99) // duplicate block
+	if _, err := Instantiate(s, Options{}); err == nil {
+		t.Fatal("duplicate block accepted")
+	}
+}
+
+func TestTensorsIndex(t *testing.T) {
+	s := vshapeSchedule(t, 2, 1)
+	prog, err := Instantiate(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	needs := prog.Tensors()
+	// f1 (stage 1, device 1) awaits the f0 tensor.
+	f1 := sched.Block{Stage: 1, Micro: 0}
+	if len(needs[f1]) != 1 {
+		t.Fatalf("f1 needs %d tensors, want 1", len(needs[f1]))
+	}
+	if needs[f1][0].From != (sched.Block{Stage: 0, Micro: 0}) {
+		t.Fatalf("wrong producer: %+v", needs[f1][0])
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpCompute.String() != "compute" || OpSend.String() != "send" || OpRecv.String() != "recv" {
+		t.Fatal("OpKind strings wrong")
+	}
+	if OpKind(9).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}

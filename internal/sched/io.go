@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON interchange format lets users define custom placements for the
+// CLI and persist searched schedules. It is versioned and self-describing;
+// Decode functions validate structurally before returning.
+
+// placementJSON is the on-disk form of a Placement.
+type placementJSON struct {
+	Version    int         `json:"version"`
+	Name       string      `json:"name"`
+	NumDevices int         `json:"num_devices"`
+	Stages     []stageJSON `json:"stages"`
+	// Deps[i] lists the stage indices depending on stage i.
+	Deps [][]int `json:"deps"`
+}
+
+type stageJSON struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"` // "forward", "backward", "aux"
+	Time    int    `json:"time"`
+	Mem     int    `json:"mem"`
+	Devices []int  `json:"devices"`
+}
+
+// ioVersion is the current interchange format version.
+const ioVersion = 1
+
+func kindToString(k Kind) string { return k.String() }
+
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "forward", "":
+		return Forward, nil
+	case "backward":
+		return Backward, nil
+	case "aux":
+		return Aux, nil
+	default:
+		return 0, fmt.Errorf("unknown block kind %q", s)
+	}
+}
+
+// EncodePlacement writes p as versioned JSON.
+func EncodePlacement(w io.Writer, p *Placement) error {
+	if p == nil {
+		return fmt.Errorf("sched: nil placement")
+	}
+	out := placementJSON{
+		Version:    ioVersion,
+		Name:       p.Name,
+		NumDevices: p.NumDevices,
+		Deps:       p.Deps,
+	}
+	for i := range p.Stages {
+		st := &p.Stages[i]
+		devs := make([]int, len(st.Devices))
+		for j, d := range st.Devices {
+			devs[j] = int(d)
+		}
+		out.Stages = append(out.Stages, stageJSON{
+			Name: st.Name, Kind: kindToString(st.Kind),
+			Time: st.Time, Mem: st.Mem, Devices: devs,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodePlacement reads a placement from JSON and validates it.
+func DecodePlacement(r io.Reader) (*Placement, error) {
+	var in placementJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sched: decode placement: %w", err)
+	}
+	if in.Version != 0 && in.Version != ioVersion {
+		return nil, fmt.Errorf("sched: unsupported placement format version %d", in.Version)
+	}
+	p := &Placement{Name: in.Name, NumDevices: in.NumDevices, Deps: in.Deps}
+	if p.Deps == nil {
+		p.Deps = make([][]int, len(in.Stages))
+	}
+	for _, st := range in.Stages {
+		kind, err := kindFromString(st.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("sched: stage %q: %w", st.Name, err)
+		}
+		devs := make([]DeviceID, len(st.Devices))
+		for j, d := range st.Devices {
+			devs[j] = DeviceID(d)
+		}
+		p.Stages = append(p.Stages, Stage{
+			Name: st.Name, Kind: kind, Time: st.Time, Mem: st.Mem, Devices: devs,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// scheduleJSON is the on-disk form of a Schedule; the placement is embedded
+// so a schedule file is self-contained.
+type scheduleJSON struct {
+	Version   int           `json:"version"`
+	Placement placementJSON `json:"placement"`
+	Items     []itemJSON    `json:"items"`
+}
+
+type itemJSON struct {
+	Stage int `json:"stage"`
+	Micro int `json:"micro"`
+	Start int `json:"start"`
+}
+
+// EncodeSchedule writes s (with its placement) as versioned JSON.
+func EncodeSchedule(w io.Writer, s *Schedule) error {
+	if s == nil || s.P == nil {
+		return fmt.Errorf("sched: nil schedule")
+	}
+	var pbuf jsonBuffer
+	if err := EncodePlacement(&pbuf, s.P); err != nil {
+		return err
+	}
+	var pj placementJSON
+	if err := json.Unmarshal(pbuf.data, &pj); err != nil {
+		return err
+	}
+	out := scheduleJSON{Version: ioVersion, Placement: pj}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, itemJSON{Stage: it.Stage, Micro: it.Micro, Start: it.Start})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeSchedule reads a self-contained schedule and checks it references
+// valid stages (full constraint validation is the caller's choice, since a
+// file may hold a partial phase).
+func DecodeSchedule(r io.Reader) (*Schedule, error) {
+	var in scheduleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sched: decode schedule: %w", err)
+	}
+	if in.Version != 0 && in.Version != ioVersion {
+		return nil, fmt.Errorf("sched: unsupported schedule format version %d", in.Version)
+	}
+	pbytes, err := json.Marshal(in.Placement)
+	if err != nil {
+		return nil, err
+	}
+	p, err := DecodePlacement(readerOf(pbytes))
+	if err != nil {
+		return nil, err
+	}
+	s := NewSchedule(p)
+	for _, it := range in.Items {
+		if it.Stage < 0 || it.Stage >= p.K() {
+			return nil, fmt.Errorf("sched: item references stage %d outside [0,%d)", it.Stage, p.K())
+		}
+		if it.Micro < 0 || it.Start < 0 {
+			return nil, fmt.Errorf("sched: item (%d,%d) has negative micro or start", it.Stage, it.Micro)
+		}
+		s.Add(it.Stage, it.Micro, it.Start)
+	}
+	s.Sort()
+	return s, nil
+}
+
+// jsonBuffer is a minimal in-memory io.Writer (avoids importing bytes in
+// this file's public surface).
+type jsonBuffer struct{ data []byte }
+
+func (b *jsonBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func readerOf(data []byte) io.Reader { return &byteReader{data: data} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlacementRoundTrip(t *testing.T) {
+	p := chain4()
+	p.Name = "roundtrip"
+	p.Stages[0].Name = "f0"
+	var buf bytes.Buffer
+	if err := EncodePlacement(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodePlacement(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.NumDevices != p.NumDevices || q.K() != p.K() {
+		t.Fatalf("header mismatch: %+v", q)
+	}
+	for i := range p.Stages {
+		a, b := p.Stages[i], q.Stages[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.Time != b.Time || a.Mem != b.Mem {
+			t.Fatalf("stage %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if len(a.Devices) != len(b.Devices) {
+			t.Fatalf("stage %d devices mismatch", i)
+		}
+	}
+	for i := range p.Deps {
+		if len(p.Deps[i]) != len(q.Deps[i]) {
+			t.Fatalf("deps %d mismatch", i)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	p := chain4()
+	s := sequentialSchedule(p, 2)
+	var buf bytes.Buffer
+	if err := EncodeSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := DecodeSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("items: %d vs %d", s2.Len(), s.Len())
+	}
+	if s2.Makespan() != s.Makespan() {
+		t.Fatalf("makespan: %d vs %d", s2.Makespan(), s.Makespan())
+	}
+	if err := s2.Validate(ValidateOptions{Memory: Unbounded}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePlacementRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":    `{"version":1,"name":"x","num_devices":2,"stages":[{"name":"a","kind":"sideways","time":1,"devices":[0]}],"deps":[[]]}`,
+		"bad version": `{"version":99,"name":"x","num_devices":2,"stages":[],"deps":[]}`,
+		"zero time":   `{"version":1,"name":"x","num_devices":2,"stages":[{"name":"a","kind":"forward","time":0,"devices":[0]}],"deps":[[]]}`,
+		"bad device":  `{"version":1,"name":"x","num_devices":2,"stages":[{"name":"a","kind":"forward","time":1,"devices":[7]}],"deps":[[]]}`,
+		"not json":    `{{{`,
+	}
+	for name, body := range cases {
+		if _, err := DecodePlacement(strings.NewReader(body)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestDecodeScheduleRejectsInvalid(t *testing.T) {
+	p := chain4()
+	s := sequentialSchedule(p, 1)
+	var buf bytes.Buffer
+	if err := EncodeSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stage index.
+	body := strings.Replace(buf.String(), `"stage": 0`, `"stage": 99`, 1)
+	if _, err := DecodeSchedule(strings.NewReader(body)); err == nil {
+		t.Fatal("out-of-range stage accepted")
+	}
+	if _, err := DecodeSchedule(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEncodeNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodePlacement(&buf, nil); err == nil {
+		t.Fatal("nil placement accepted")
+	}
+	if err := EncodeSchedule(&buf, nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+}
+
+func TestDefaultKindDecodes(t *testing.T) {
+	body := `{"version":1,"name":"x","num_devices":1,"stages":[{"name":"a","time":1,"devices":[0]}],"deps":[[]]}`
+	p, err := DecodePlacement(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stages[0].Kind != Forward {
+		t.Fatalf("default kind = %v", p.Stages[0].Kind)
+	}
+}

@@ -1,0 +1,342 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block identifies one execution block: stage i of micro-batch n (B^n_i in
+// the paper's notation).
+type Block struct {
+	// Stage is the index into Placement.Stages.
+	Stage int
+	// Micro is the micro-batch index n, 0 ≤ n < N.
+	Micro int
+}
+
+// String renders the block as "stage@micro" using the placement-independent
+// indices; use Placement.Stages[b.Stage].Name for the friendly name.
+func (b Block) String() string { return fmt.Sprintf("B%d@%d", b.Stage, b.Micro) }
+
+// Item is a scheduled block: a block plus its assigned start time s_B.
+type Item struct {
+	Block
+	// Start is the integer start time of the block; the block occupies its
+	// devices over [Start, Start+Time).
+	Start int
+}
+
+// Schedule is a (partial or complete) temporal schedule: an assignment of
+// start times to blocks of a placement. The zero value is an empty schedule
+// and is ready to use once P is set.
+type Schedule struct {
+	// P is the placement whose stages the items reference.
+	P *Placement
+	// Items holds the scheduled blocks in no particular order; use Sort for
+	// deterministic start-time order.
+	Items []Item
+}
+
+// NewSchedule returns an empty schedule over placement p.
+func NewSchedule(p *Placement) *Schedule {
+	return &Schedule{P: p}
+}
+
+// Add appends a scheduled block.
+func (s *Schedule) Add(stage, micro, start int) {
+	s.Items = append(s.Items, Item{Block: Block{Stage: stage, Micro: micro}, Start: start})
+}
+
+// Len returns the number of scheduled blocks.
+func (s *Schedule) Len() int { return len(s.Items) }
+
+// Sort orders items by (Start, Stage, Micro) for deterministic iteration.
+func (s *Schedule) Sort() {
+	sort.Slice(s.Items, func(i, j int) bool {
+		a, b := s.Items[i], s.Items[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Micro < b.Micro
+	})
+}
+
+// Clone returns a deep copy sharing the placement.
+func (s *Schedule) Clone() *Schedule {
+	return &Schedule{P: s.P, Items: append([]Item(nil), s.Items...)}
+}
+
+// Shift adds dt to every start time and returns the schedule for chaining.
+func (s *Schedule) Shift(dt int) *Schedule {
+	for i := range s.Items {
+		s.Items[i].Start += dt
+	}
+	return s
+}
+
+// ShiftMicro adds dn to every micro-batch index and returns the schedule.
+func (s *Schedule) ShiftMicro(dn int) *Schedule {
+	for i := range s.Items {
+		s.Items[i].Micro += dn
+	}
+	return s
+}
+
+// Append merges the items of other into s (no validity checks).
+func (s *Schedule) Append(other *Schedule) {
+	s.Items = append(s.Items, other.Items...)
+}
+
+// Start returns the earliest start time among items, or 0 if empty.
+func (s *Schedule) Start() int {
+	if len(s.Items) == 0 {
+		return 0
+	}
+	min := s.Items[0].Start
+	for _, it := range s.Items[1:] {
+		if it.Start < min {
+			min = it.Start
+		}
+	}
+	return min
+}
+
+// Makespan returns max_B (s_B + t_B), the completion time of the last block
+// (Equation 1's objective), or 0 for an empty schedule.
+func (s *Schedule) Makespan() int {
+	end := 0
+	for _, it := range s.Items {
+		if e := it.Start + s.P.Stages[it.Stage].Time; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// Find returns the item scheduling block (stage,micro) and whether it exists.
+func (s *Schedule) Find(stage, micro int) (Item, bool) {
+	for _, it := range s.Items {
+		if it.Stage == stage && it.Micro == micro {
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+// deviceItems returns, for each device, the items occupying it, sorted by
+// start time.
+func (s *Schedule) deviceItems() [][]Item {
+	per := make([][]Item, s.P.NumDevices)
+	for _, it := range s.Items {
+		for _, d := range s.P.Stages[it.Stage].Devices {
+			per[d] = append(per[d], it)
+		}
+	}
+	for d := range per {
+		items := per[d]
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Start != items[j].Start {
+				return items[i].Start < items[j].Start
+			}
+			if items[i].Stage != items[j].Stage {
+				return items[i].Stage < items[j].Stage
+			}
+			return items[i].Micro < items[j].Micro
+		})
+	}
+	return per
+}
+
+// DeviceItems returns the items occupying device d sorted by start time.
+func (s *Schedule) DeviceItems(d DeviceID) []Item {
+	return s.deviceItems()[d]
+}
+
+// ValidateOptions parameterizes schedule validation.
+type ValidateOptions struct {
+	// Memory is the per-device memory capacity M; use Unbounded to disable
+	// the memory constraint.
+	Memory int
+	// InitialMem gives the memory already in use on each device when the
+	// schedule begins (e.g. warmup residue at repetend entry). A nil slice
+	// means all zeros.
+	InitialMem []int
+	// IgnoreDeps disables the data-dependency check (used when validating a
+	// phase fragment whose predecessors live in an earlier phase).
+	IgnoreDeps bool
+}
+
+// Validate checks the three constraint families of Equation 1 against the
+// schedule: [1] exclusive execution per device, [2] per-device peak memory,
+// and [3] data dependencies within each micro-batch. It returns nil when
+// the schedule is valid.
+func (s *Schedule) Validate(opts ValidateOptions) error {
+	if s.P == nil {
+		return fmt.Errorf("schedule has no placement")
+	}
+	// Constraint [1]: exclusivity. On each device, sorted-by-start items
+	// must have non-overlapping [start, start+time) intervals.
+	per := s.deviceItems()
+	for d, items := range per {
+		for i := 1; i < len(items); i++ {
+			prev, cur := items[i-1], items[i]
+			prevEnd := prev.Start + s.P.Stages[prev.Stage].Time
+			if cur.Start < prevEnd {
+				return fmt.Errorf("device %d: blocks %v@t%d and %v@t%d overlap", d, prev.Block, prev.Start, cur.Block, cur.Start)
+			}
+		}
+	}
+	// Constraint [2]: memory. Because memory changes at block starts only
+	// (Equation 1 item [2] sums blocks with s_B < τ), the peak on a device
+	// is the max prefix sum of Mem in start order.
+	if opts.Memory != Unbounded {
+		for d, items := range per {
+			mem := 0
+			if opts.InitialMem != nil {
+				mem = opts.InitialMem[d]
+			}
+			if mem > opts.Memory {
+				return fmt.Errorf("device %d: initial memory %d exceeds capacity %d", d, mem, opts.Memory)
+			}
+			for _, it := range items {
+				mem += s.P.Stages[it.Stage].Mem
+				if mem > opts.Memory {
+					return fmt.Errorf("device %d: memory %d exceeds capacity %d after %v starts at t=%d", d, mem, opts.Memory, it.Block, it.Start)
+				}
+			}
+		}
+	}
+	// Constraint [3]: dependencies within each micro-batch.
+	if !opts.IgnoreDeps {
+		index := make(map[Block]Item, len(s.Items))
+		for _, it := range s.Items {
+			if old, dup := index[it.Block]; dup {
+				return fmt.Errorf("block %v scheduled twice (t=%d and t=%d)", it.Block, old.Start, it.Start)
+			}
+			index[it.Block] = it
+		}
+		for _, it := range s.Items {
+			for _, succ := range s.P.Deps[it.Stage] {
+				dep, ok := index[Block{Stage: succ, Micro: it.Micro}]
+				if !ok {
+					continue // successor not part of this (partial) schedule
+				}
+				if it.Start+s.P.Stages[it.Stage].Time > dep.Start {
+					return fmt.Errorf("dependency violated: %v (ends t=%d) → %v (starts t=%d)",
+						it.Block, it.Start+s.P.Stages[it.Stage].Time, dep.Block, dep.Start)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PeakMemory returns the peak memory per device under the start-order
+// accounting of Equation 1 item [2], starting from initialMem (nil = zeros).
+func (s *Schedule) PeakMemory(initialMem []int) []int {
+	per := s.deviceItems()
+	peaks := make([]int, s.P.NumDevices)
+	for d, items := range per {
+		mem := 0
+		if initialMem != nil {
+			mem = initialMem[d]
+		}
+		peak := mem
+		for _, it := range items {
+			mem += s.P.Stages[it.Stage].Mem
+			if mem > peak {
+				peak = mem
+			}
+		}
+		peaks[d] = peak
+	}
+	return peaks
+}
+
+// FinalMemory returns per-device memory in use after all scheduled blocks
+// have started, starting from initialMem (nil = zeros). This is the entry
+// state for a subsequent phase.
+func (s *Schedule) FinalMemory(initialMem []int) []int {
+	out := make([]int, s.P.NumDevices)
+	if initialMem != nil {
+		copy(out, initialMem)
+	}
+	for _, it := range s.Items {
+		for _, d := range s.P.Stages[it.Stage].Devices {
+			out[d] += s.P.Stages[it.Stage].Mem
+		}
+	}
+	return out
+}
+
+// BusyTime returns the total device-busy time per device over the whole
+// schedule.
+func (s *Schedule) BusyTime() []int {
+	busy := make([]int, s.P.NumDevices)
+	for _, it := range s.Items {
+		for _, d := range s.P.Stages[it.Stage].Devices {
+			busy[d] += s.P.Stages[it.Stage].Time
+		}
+	}
+	return busy
+}
+
+// BubbleRate returns the fraction of device idle time over the window
+// [from, to) across all devices: 1 − Σ_d busy_d / (D·(to−from)). Busy time
+// is clipped to the window. It reports 0 for an empty window.
+func (s *Schedule) BubbleRate(from, to int) float64 {
+	if to <= from || s.P.NumDevices == 0 {
+		return 0
+	}
+	window := to - from
+	busy := 0
+	for _, it := range s.Items {
+		start, end := it.Start, it.Start+s.P.Stages[it.Stage].Time
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		if end > start {
+			busy += (end - start) * len(s.P.Stages[it.Stage].Devices)
+		}
+	}
+	total := s.P.NumDevices * window
+	return 1 - float64(busy)/float64(total)
+}
+
+// OverallBubbleRate returns the bubble rate over [Start, Makespan).
+func (s *Schedule) OverallBubbleRate() float64 {
+	return s.BubbleRate(s.Start(), s.Makespan())
+}
+
+// DeviceOrder returns, for each device, the blocks in start order. This is
+// the per-device execution order that runtime instantiation consumes.
+func (s *Schedule) DeviceOrder() [][]Block {
+	per := s.deviceItems()
+	out := make([][]Block, len(per))
+	for d, items := range per {
+		for _, it := range items {
+			out[d] = append(out[d], it.Block)
+		}
+	}
+	return out
+}
+
+// Micros returns the sorted distinct micro-batch indices present.
+func (s *Schedule) Micros() []int {
+	seen := map[int]bool{}
+	for _, it := range s.Items {
+		seen[it.Micro] = true
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tessel/internal/baseline"
+	"tessel/internal/core"
+	"tessel/internal/placement"
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+)
+
+// randomSchedule builds a valid schedule from a random shape, generator and
+// micro-batch count.
+func randomSchedule(rng *rand.Rand) (*sched.Schedule, error) {
+	shapes, err := placement.Shapes(placement.Config{
+		Devices: 4,
+		Fwd:     1 + rng.Intn(3),
+		Bwd:     2 + rng.Intn(4),
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"v-shape", "x-shape", "m-shape", "k-shape", "nn-shape"}
+	p := shapes[names[rng.Intn(len(names))]]
+	n := 1 + rng.Intn(6)
+	switch rng.Intn(3) {
+	case 0:
+		if p.Name == "x-shape" {
+			return baseline.ChimeraDirect(p, n)
+		}
+		return baseline.OneFOneBPlus(p, n)
+	case 1:
+		return baseline.GPipe(p, n)
+	default:
+		res, err := core.Search(p, core.Options{N: n, MaxNR: 3, MaxAssignments: 500, SolverNodes: 20000})
+		if err != nil {
+			return nil, err
+		}
+		return res.Full, nil
+	}
+}
+
+// TestPropertyInstantiateAlwaysPairs: every valid schedule instantiates
+// into a deadlock-free program (consistent send/recv pairing), in both
+// communication modes.
+func TestPropertyInstantiateAlwaysPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := randomSchedule(rng)
+		if err != nil {
+			t.Logf("seed %d: generator: %v", seed, err)
+			return false
+		}
+		for _, nb := range []bool{false, true} {
+			prog, err := runtime.Instantiate(s, runtime.Options{NonBlocking: nb})
+			if err != nil {
+				t.Logf("seed %d: instantiate: %v", seed, err)
+				return false
+			}
+			if err := prog.CheckPairing(); err != nil {
+				t.Logf("seed %d: pairing: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySimNeverDeadlocks: every instantiated program simulates to
+// completion, and the trace respects fundamental bounds: makespan ≥ the
+// busiest device's work, busy time equals scheduled work, and non-blocking
+// is never slower than blocking.
+func TestPropertySimNeverDeadlocks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := randomSchedule(rng)
+		if err != nil {
+			return false
+		}
+		cfg := DefaultConfig()
+		bytes := int64(1 + rng.Intn(32<<20))
+		byteFn := func(_, _ sched.Block) int64 { return bytes }
+		blocking, err := Simulate(s, runtime.Options{Bytes: byteFn}, cfg)
+		if err != nil {
+			t.Logf("seed %d: blocking sim: %v", seed, err)
+			return false
+		}
+		nonblocking, err := Simulate(s, runtime.Options{NonBlocking: true, Bytes: byteFn}, cfg)
+		if err != nil {
+			t.Logf("seed %d: non-blocking sim: %v", seed, err)
+			return false
+		}
+		// Busy time equals the schedule's device work in both modes.
+		micros := len(s.Micros())
+		for d := 0; d < s.P.NumDevices; d++ {
+			want := micros * s.P.DeviceWork(sched.DeviceID(d))
+			if blocking.ComputeBusy[d] != want || nonblocking.ComputeBusy[d] != want {
+				t.Logf("seed %d: busy mismatch on device %d", seed, d)
+				return false
+			}
+		}
+		// Makespan dominates the busiest device's work.
+		lb := micros * s.P.LowerBound()
+		if blocking.Makespan < lb || nonblocking.Makespan < lb {
+			t.Logf("seed %d: makespan below device-work bound", seed)
+			return false
+		}
+		if nonblocking.Makespan > blocking.Makespan {
+			t.Logf("seed %d: non-blocking %d slower than blocking %d",
+				seed, nonblocking.Makespan, blocking.Makespan)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySimMatchesScheduleUnderFreeComm: with free communication the
+// simulated makespan never exceeds the schedule's makespan by more than the
+// 1µs transfer floors (the replay can only compact).
+func TestPropertySimMatchesScheduleUnderFreeComm(t *testing.T) {
+	free := Config{
+		GPUsPerStage: 1, GPUsPerServer: 8,
+		IntraBWBytesPerUs: 1e12, InterBWBytesPerUs: 1e12,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := randomSchedule(rng)
+		if err != nil {
+			return false
+		}
+		// Scale times up so 1µs transfer floors are negligible.
+		for i := range s.P.Stages {
+			s.P.Stages[i].Time *= 1000
+		}
+		for i := range s.Items {
+			s.Items[i].Start *= 1000
+		}
+		tr, err := Simulate(s, runtime.Options{NonBlocking: true}, free)
+		if err != nil {
+			return false
+		}
+		return tr.Makespan <= s.Makespan()+s.Makespan()/50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

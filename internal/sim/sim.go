@@ -1,0 +1,413 @@
+// Package sim is the discrete-event cluster simulator that stands in for
+// the paper's 32×V100 testbed. It executes the per-device instruction
+// programs produced by runtime.Instantiate under an explicit hardware
+// model: one compute stream per device, dedicated send/receive streams for
+// non-blocking communication (Figure 7), and a hierarchical network with
+// distinct intra-server (NVLink) and inter-server (InfiniBand) bandwidth
+// and latency.
+//
+// The simulator preserves exactly the semantics the paper's runtime relies
+// on: blocking communication occupies both endpoints' compute streams until
+// the transfer completes, while non-blocking communication proceeds on comm
+// streams with dependent compute blocks awaiting tensor arrival (the
+// message-manager of §V). Transfers rendezvous: a send progresses only when
+// the matching receive has been posted, and the topological-sort insertion
+// order of runtime.Instantiate guarantees progress.
+package sim
+
+import (
+	"fmt"
+
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+)
+
+// Config is the hardware model. Times are microseconds, sizes bytes.
+type Config struct {
+	// GPUsPerStage is how many physical GPUs one simulated device (pipeline
+	// stage) aggregates via tensor/data parallelism.
+	GPUsPerStage int
+	// GPUsPerServer bounds a server; links between stages in different
+	// servers use the inter-server parameters.
+	GPUsPerServer int
+	// IntraBWBytesPerUs is NVLink-class bandwidth (default 150 GB/s).
+	IntraBWBytesPerUs float64
+	// InterBWBytesPerUs is the cross-server network (default 100 Gbps
+	// InfiniBand ≈ 12.5 GB/s).
+	InterBWBytesPerUs float64
+	// IntraLatUs / InterLatUs are per-transfer latencies.
+	IntraLatUs, InterLatUs int
+}
+
+// DefaultConfig returns the testbed model of §VI-A: 8-GPU servers with
+// NVLink inside and 100 Gbps InfiniBand between them.
+func DefaultConfig() Config {
+	return Config{
+		GPUsPerStage:      1,
+		GPUsPerServer:     8,
+		IntraBWBytesPerUs: 150_000,
+		InterBWBytesPerUs: 12_500,
+		IntraLatUs:        5,
+		InterLatUs:        15,
+	}
+}
+
+func (c Config) serverOf(d sched.DeviceID) int {
+	gps := c.GPUsPerStage
+	if gps < 1 {
+		gps = 1
+	}
+	gpsrv := c.GPUsPerServer
+	if gpsrv < 1 {
+		gpsrv = 8
+	}
+	return int(d) * gps / gpsrv
+}
+
+// transferUs returns the duration of a transfer between two devices.
+func (c Config) transferUs(src, dst sched.DeviceID, bytes int64) int {
+	bw, lat := c.IntraBWBytesPerUs, c.IntraLatUs
+	if c.serverOf(src) != c.serverOf(dst) {
+		bw, lat = c.InterBWBytesPerUs, c.InterLatUs
+	}
+	if bw <= 0 {
+		bw = 1
+	}
+	d := lat + int(float64(bytes)/bw)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// StreamKind labels the three per-device streams.
+type StreamKind int
+
+const (
+	// StreamCompute executes blocks (and blocking comm).
+	StreamCompute StreamKind = iota
+	// StreamSend / StreamRecv carry non-blocking transfers.
+	StreamSend
+	StreamRecv
+)
+
+// OpTrace records one executed instruction.
+type OpTrace struct {
+	Device sched.DeviceID
+	Stream StreamKind
+	Op     runtime.Op
+	Start  int
+	End    int
+}
+
+// Trace is the result of a simulation run.
+type Trace struct {
+	// Ops lists every executed instruction with its timing.
+	Ops []OpTrace
+	// Makespan is the completion time of the last instruction.
+	Makespan int
+	// ComputeBusy is per-device time spent executing blocks.
+	ComputeBusy []int
+	// BlockingComm is per-device compute-stream time spent on blocking
+	// transfers (zero in non-blocking mode).
+	BlockingComm []int
+	// Span is per-device compute-stream extent (last end − first start).
+	Span []int
+}
+
+// WaitFraction returns the fraction of device d's compute-stream span not
+// spent executing blocks — the "device wait time occupation" of Figure 16.
+func (t *Trace) WaitFraction(d sched.DeviceID) float64 {
+	if t.Span[d] == 0 {
+		return 0
+	}
+	return 1 - float64(t.ComputeBusy[d])/float64(t.Span[d])
+}
+
+// SlowestDevice returns the device with the largest block execution time
+// (the paper profiles "the runtime at the slowest stage").
+func (t *Trace) SlowestDevice() sched.DeviceID {
+	best := 0
+	for d := 1; d < len(t.ComputeBusy); d++ {
+		if t.ComputeBusy[d] > t.ComputeBusy[best] {
+			best = d
+		}
+	}
+	return sched.DeviceID(best)
+}
+
+type queue struct {
+	ops   []runtime.Op
+	next  int
+	avail int
+	first int // start of first executed op, -1 if none
+	last  int
+}
+
+func (q *queue) head() (runtime.Op, bool) {
+	if q.next >= len(q.ops) {
+		return runtime.Op{}, false
+	}
+	return q.ops[q.next], true
+}
+
+// Run executes the program under the hardware config and returns the trace.
+func Run(prog *runtime.Program, cfg Config) (*Trace, error) {
+	if prog == nil || prog.P == nil {
+		return nil, fmt.Errorf("sim: nil program")
+	}
+	if err := prog.CheckPairing(); err != nil {
+		return nil, err
+	}
+	p := prog.P
+	d := p.NumDevices
+	queues := make([][3]*queue, d)
+	for dev := 0; dev < d; dev++ {
+		queues[dev] = [3]*queue{{first: -1}, {first: -1}, {first: -1}}
+		for _, op := range prog.PerDevice[dev] {
+			k := StreamCompute
+			if op.NonBlocking {
+				switch op.Kind {
+				case runtime.OpSend:
+					k = StreamSend
+				case runtime.OpRecv:
+					k = StreamRecv
+				}
+			}
+			queues[dev][k].ops = append(queues[dev][k].ops, op)
+		}
+	}
+	// Block finish times: a block completes when all its device instances
+	// have executed (tensor-parallel blocks synchronize).
+	instLeft := map[sched.Block]int{}
+	finish := map[sched.Block]int{}
+	for dev := 0; dev < d; dev++ {
+		for _, op := range prog.PerDevice[dev] {
+			if op.Kind == runtime.OpCompute {
+				instLeft[op.Block]++
+			}
+		}
+	}
+	partFinish := map[sched.Block]int{}
+	arrival := map[runtime.TensorID]int{}
+	// Remote inputs each block awaits, per destination device.
+	needs := map[sched.Block][]runtime.TensorID{}
+	for dev := 0; dev < d; dev++ {
+		for _, op := range prog.PerDevice[dev] {
+			if op.Kind == runtime.OpRecv {
+				needs[op.Tensor.To] = append(needs[op.Tensor.To], op.Tensor)
+			}
+		}
+	}
+	predTable := p.PredTable()
+	trace := &Trace{
+		ComputeBusy:  make([]int, d),
+		BlockingComm: make([]int, d),
+		Span:         make([]int, d),
+	}
+	remaining := 0
+	for dev := 0; dev < d; dev++ {
+		for k := 0; k < 3; k++ {
+			remaining += len(queues[dev][k].ops)
+		}
+	}
+	record := func(dev int, k StreamKind, op runtime.Op, start, end int) {
+		q := queues[dev][k]
+		q.avail = end
+		q.next++
+		if q.first < 0 {
+			q.first = start
+		}
+		q.last = end
+		trace.Ops = append(trace.Ops, OpTrace{
+			Device: sched.DeviceID(dev), Stream: k, Op: op, Start: start, End: end,
+		})
+		if end > trace.Makespan {
+			trace.Makespan = end
+		}
+		remaining--
+	}
+	// computeReady returns the earliest start for a compute op, or false.
+	computeReady := func(dev int, op runtime.Op) (int, bool) {
+		st := queues[dev][StreamCompute].avail
+		// Local predecessors on this device must have finished globally.
+		for _, ps := range predTable[op.Block.Stage] {
+			pb := sched.Block{Stage: ps, Micro: op.Block.Micro}
+			if _, scheduled := instLeft[pb]; !scheduled {
+				continue // predecessor outside the program (phase boundary)
+			}
+			if p.Stages[ps].OnDevice(sched.DeviceID(dev)) {
+				f, done := finish[pb]
+				if !done {
+					return 0, false
+				}
+				if f > st {
+					st = f
+				}
+			}
+		}
+		for _, t := range needs[op.Block] {
+			if t.Dst != sched.DeviceID(dev) {
+				continue
+			}
+			a, ok := arrival[t]
+			if !ok {
+				return 0, false
+			}
+			if a > st {
+				st = a
+			}
+		}
+		return st, true
+	}
+	// tryTransfer attempts the send at (sdev, sk). Blocking transfers
+	// rendezvous: both endpoints' compute streams must reach the op and
+	// stay occupied for the transfer (Figure 7(a)). Non-blocking transfers
+	// only serialize on the sender's send stream; the receiver's message
+	// manager buffers the tensor, so the recv op simply observes the
+	// arrival (Figure 7(b) / §V).
+	tryTransfer := func(sdev int, sk StreamKind, op runtime.Op) bool {
+		// Tensor must be produced.
+		prodEnd, done := finish[op.Block]
+		if !done {
+			return false
+		}
+		if op.NonBlocking {
+			start := queues[sdev][sk].avail
+			if prodEnd > start {
+				start = prodEnd
+			}
+			end := start + cfg.transferUs(sched.DeviceID(sdev), op.Peer, op.Bytes)
+			arrival[op.Tensor] = end
+			record(sdev, sk, op, start, end)
+			return true
+		}
+		rdev := int(op.Peer)
+		rq := queues[rdev][StreamCompute]
+		rop, ok := rq.head()
+		if !ok || rop.Kind != runtime.OpRecv || rop.Tensor != op.Tensor {
+			return false
+		}
+		start := queues[sdev][sk].avail
+		if rq.avail > start {
+			start = rq.avail
+		}
+		if prodEnd > start {
+			start = prodEnd
+		}
+		end := start + cfg.transferUs(sched.DeviceID(sdev), op.Peer, op.Bytes)
+		arrival[op.Tensor] = end
+		record(sdev, sk, op, start, end)
+		record(rdev, StreamCompute, rop, start, end)
+		trace.BlockingComm[sdev] += end - start
+		trace.BlockingComm[rdev] += end - start
+		return true
+	}
+	for remaining > 0 {
+		progress := false
+		for dev := 0; dev < d; dev++ {
+			for k := 0; k < 3; k++ {
+				q := queues[dev][k]
+				op, ok := q.head()
+				if !ok {
+					continue
+				}
+				switch op.Kind {
+				case runtime.OpCompute:
+					devs := p.Stages[op.Block.Stage].Devices
+					if len(devs) > 1 {
+						// Tensor-parallel blocks are collectives: every
+						// shard starts together. Process once, from the
+						// lowest participating device, when all shards are
+						// at their queue heads.
+						if sched.DeviceID(dev) != devs[0] {
+							continue
+						}
+						st := 0
+						ready := true
+						for _, pd := range devs {
+							hop, ok := queues[pd][StreamCompute].head()
+							if !ok || hop.Kind != runtime.OpCompute || hop.Block != op.Block {
+								ready = false
+								break
+							}
+							if s, ok := computeReady(int(pd), op); !ok {
+								ready = false
+								break
+							} else if s > st {
+								st = s
+							}
+						}
+						if !ready {
+							continue
+						}
+						end := st + p.Stages[op.Block.Stage].Time
+						for _, pd := range devs {
+							record(int(pd), StreamCompute, op, st, end)
+							trace.ComputeBusy[pd] += end - st
+							instLeft[op.Block]--
+						}
+						partFinish[op.Block] = end
+						if instLeft[op.Block] == 0 {
+							finish[op.Block] = end
+						}
+						progress = true
+						continue
+					}
+					st, ready := computeReady(dev, op)
+					if !ready {
+						continue
+					}
+					end := st + p.Stages[op.Block.Stage].Time
+					record(dev, StreamKind(k), op, st, end)
+					trace.ComputeBusy[dev] += end - st
+					if end > partFinish[op.Block] {
+						partFinish[op.Block] = end
+					}
+					instLeft[op.Block]--
+					if instLeft[op.Block] == 0 {
+						finish[op.Block] = partFinish[op.Block]
+					}
+					progress = true
+				case runtime.OpSend:
+					if tryTransfer(dev, StreamKind(k), op) {
+						progress = true
+					}
+				case runtime.OpRecv:
+					if !op.NonBlocking {
+						break // driven by the matching blocking send
+					}
+					// Message-manager semantics: the recv observes the
+					// buffered arrival once the transfer lands.
+					if a, ok := arrival[op.Tensor]; ok {
+						start := q.avail
+						if a > start {
+							start = a
+						}
+						record(dev, StreamKind(k), op, start, start)
+						progress = true
+					}
+				}
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("sim: deadlock with %d instructions remaining", remaining)
+		}
+	}
+	for dev := 0; dev < d; dev++ {
+		q := queues[dev][StreamCompute]
+		if q.first >= 0 {
+			trace.Span[dev] = q.last - q.first
+		}
+	}
+	return trace, nil
+}
+
+// Simulate instantiates a schedule and runs it in one step.
+func Simulate(s *sched.Schedule, rtOpts runtime.Options, cfg Config) (*Trace, error) {
+	prog, err := runtime.Instantiate(s, rtOpts)
+	if err != nil {
+		return nil, err
+	}
+	return Run(prog, cfg)
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+
+	"tessel/internal/baseline"
+	"tessel/internal/placement"
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+)
+
+func vshape(t *testing.T, d int, cfg placement.Config) *sched.Placement {
+	t.Helper()
+	cfg.Devices = d
+	p, err := placement.VShape(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func oneFOneB(t *testing.T, p *sched.Placement, n int) *sched.Schedule {
+	t.Helper()
+	s, err := baseline.OneFOneB(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fastNet makes communication negligible so simulated times match schedule
+// makespans exactly.
+func fastNet() Config {
+	c := DefaultConfig()
+	c.IntraLatUs = 0
+	c.InterLatUs = 0
+	c.IntraBWBytesPerUs = 1e12
+	c.InterBWBytesPerUs = 1e12
+	return c
+}
+
+func TestRunMatchesScheduleWithFreeComm(t *testing.T) {
+	// With free communication and non-blocking mode, the simulated makespan
+	// equals the schedule's idealized makespan (blocks are in microseconds;
+	// transfers cost the 1-tick floor, overlapped away by comm streams).
+	p := vshape(t, 4, placement.Config{Fwd: 100, Bwd: 200})
+	s := oneFOneB(t, p, 8)
+	tr, err := Simulate(s, runtime.Options{NonBlocking: true}, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Makespan()
+	if tr.Makespan < want || tr.Makespan > want+want/10 {
+		t.Fatalf("sim makespan %d vs schedule %d", tr.Makespan, want)
+	}
+}
+
+func TestRunComputeBusyMatchesWork(t *testing.T) {
+	p := vshape(t, 4, placement.Config{Fwd: 10, Bwd: 20})
+	s := oneFOneB(t, p, 4)
+	tr, err := Simulate(s, runtime.Options{NonBlocking: true}, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		want := 4 * p.DeviceWork(sched.DeviceID(d))
+		if tr.ComputeBusy[d] != want {
+			t.Fatalf("device %d busy %d, want %d", d, tr.ComputeBusy[d], want)
+		}
+	}
+}
+
+func TestNonBlockingNeverSlower(t *testing.T) {
+	// Figure 17: non-blocking communication only helps.
+	p := vshape(t, 4, placement.Config{Fwd: 100, Bwd: 200})
+	s := oneFOneB(t, p, 8)
+	cfg := DefaultConfig()
+	bytes := func(_, _ sched.Block) int64 { return 8 << 20 }
+	blocking, err := Simulate(s, runtime.Options{Bytes: bytes}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonblocking, err := Simulate(s, runtime.Options{NonBlocking: true, Bytes: bytes}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonblocking.Makespan > blocking.Makespan {
+		t.Fatalf("non-blocking %d slower than blocking %d", nonblocking.Makespan, blocking.Makespan)
+	}
+	if blocking.BlockingComm[0] == 0 {
+		t.Fatal("blocking mode recorded no compute-stream comm")
+	}
+	if nonblocking.BlockingComm[0] != 0 {
+		t.Fatal("non-blocking mode polluted the compute stream")
+	}
+}
+
+func TestInterServerSlowerThanIntra(t *testing.T) {
+	p := vshape(t, 4, placement.Config{Fwd: 100, Bwd: 200})
+	s := oneFOneB(t, p, 8)
+	bytes := func(_, _ sched.Block) int64 { return 32 << 20 }
+	intra := DefaultConfig() // all 4 stages in one server
+	inter := DefaultConfig()
+	inter.GPUsPerStage = 8 // each stage fills a server → all links cross
+	a, err := Simulate(s, runtime.Options{Bytes: bytes}, intra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(s, runtime.Options{Bytes: bytes}, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Makespan <= a.Makespan {
+		t.Fatalf("inter-server %d not slower than intra %d", b.Makespan, a.Makespan)
+	}
+}
+
+func TestTransferUs(t *testing.T) {
+	c := DefaultConfig()
+	// Same server: 1 MiB at 150 GB/s ≈ 7us + 5us latency.
+	got := c.transferUs(0, 1, 1<<20)
+	if got < 5 || got > 20 {
+		t.Fatalf("intra transfer = %dus", got)
+	}
+	c.GPUsPerStage = 8
+	inter := c.transferUs(0, 1, 1<<20)
+	if inter <= got {
+		t.Fatalf("inter transfer %dus not slower than intra %dus", inter, got)
+	}
+}
+
+func TestServerMapping(t *testing.T) {
+	c := DefaultConfig()
+	c.GPUsPerStage = 4
+	// Stages 0,1 → server 0; stages 2,3 → server 1 (16 GPUs total).
+	if c.serverOf(0) != 0 || c.serverOf(1) != 0 || c.serverOf(2) != 1 || c.serverOf(3) != 1 {
+		t.Fatalf("server mapping: %d %d %d %d", c.serverOf(0), c.serverOf(1), c.serverOf(2), c.serverOf(3))
+	}
+}
+
+func TestWaitFractionBounds(t *testing.T) {
+	p := vshape(t, 4, placement.Config{Fwd: 100, Bwd: 200})
+	s := oneFOneB(t, p, 16)
+	tr, err := Simulate(s, runtime.Options{NonBlocking: true}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		w := tr.WaitFraction(sched.DeviceID(d))
+		if w < 0 || w > 1 {
+			t.Fatalf("wait fraction %f out of range", w)
+		}
+	}
+}
+
+func TestSlowestDevice(t *testing.T) {
+	// Unbalanced placement: device 0 carries double work.
+	p := vshape(t, 2, placement.Config{Fwd: 10, Bwd: 20})
+	p.Stages[0].Time = 100
+	s := oneFOneB(t, p, 2)
+	tr, err := Simulate(s, runtime.Options{NonBlocking: true}, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SlowestDevice() != 0 {
+		t.Fatalf("slowest = %d, want 0", tr.SlowestDevice())
+	}
+}
+
+func TestRunTPBlocks(t *testing.T) {
+	// M-shape with all-device blocks simulates without deadlock and the
+	// TP blocks synchronize all devices.
+	p, err := placement.MShape(placement.Config{Devices: 4, Fwd: 50, Bwd: 100, EmbFwd: 10, EmbBwd: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.OneFOneBPlus(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Simulate(s, runtime.Options{NonBlocking: true}, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simulator replays the program order with earliest starts, so it
+	// may compact schedule slack — but never beat the device-work bound nor
+	// exceed the schedule's own makespan by more than the 1µs-floor
+	// transfer costs that free communication still pays.
+	lb := 4 * p.LowerBound() // 4 micro-batches on the busiest device
+	if tr.Makespan < lb || tr.Makespan > s.Makespan()*105/100 {
+		t.Fatalf("sim makespan %d outside [%d, %d]", tr.Makespan, lb, s.Makespan()*105/100)
+	}
+	// Every device executed the same number of TP instances.
+	counts := make([]int, 4)
+	for _, ot := range tr.Ops {
+		if ot.Op.Kind == runtime.OpCompute && len(p.Stages[ot.Op.Block.Stage].Devices) == 4 {
+			counts[ot.Device]++
+		}
+	}
+	for d := 1; d < 4; d++ {
+		if counts[d] != counts[0] {
+			t.Fatalf("TP instance counts diverge: %v", counts)
+		}
+	}
+}
+
+func TestRunStreamsDontOverlap(t *testing.T) {
+	// Per-stream ops must be serialized.
+	p := vshape(t, 4, placement.Config{Fwd: 100, Bwd: 200})
+	s := oneFOneB(t, p, 8)
+	tr, err := Simulate(s, runtime.Options{NonBlocking: true}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sk struct {
+		d sched.DeviceID
+		k StreamKind
+	}
+	last := map[sk]int{}
+	for _, ot := range tr.Ops {
+		key := sk{ot.Device, ot.Stream}
+		if ot.Start < last[key] {
+			t.Fatalf("stream overlap on %v: op starts %d before %d", key, ot.Start, last[key])
+		}
+		if ot.End > last[key] {
+			last[key] = ot.End
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := vshape(t, 4, placement.Config{Fwd: 100, Bwd: 200})
+	s := oneFOneB(t, p, 8)
+	a, err := Simulate(s, runtime.Options{NonBlocking: true}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(s, runtime.Options{NonBlocking: true}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || len(a.Ops) != len(b.Ops) {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil program accepted")
+	}
+}

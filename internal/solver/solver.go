@@ -1,0 +1,687 @@
+// Package solver provides the exact schedule solver Tessel relies on — the
+// role Z3 plays in the paper (§V, "Solver implementation"). Given a set of
+// blocks with integer durations, memory deltas, device assignments, release
+// times and precedence edges, it finds a minimum-makespan schedule (or any
+// feasible schedule under a deadline) subject to the three constraint
+// families of Equation 1: exclusive per-device execution, per-device memory
+// capacity, and data dependencies.
+//
+// # Method
+//
+// The solver enumerates precedence-feasible block orders depth-first,
+// scheduling each appended block at its earliest feasible start. Because
+// memory in this model changes only at block *starts* (Equation 1 item [2]
+// counts blocks with s_B < τ), per-device memory feasibility depends only on
+// the start order of blocks on the device, so earliest-start replay of any
+// feasible schedule's start order is itself feasible with no larger
+// makespan. Enumerating all orders is therefore complete. Pruning uses
+//
+//   - device-load and critical-path lower bounds,
+//   - Pareto-dominance memoization over (scheduled-set, device availability,
+//     frontier finish times), and
+//   - the micro-batch symmetry of Property 4.1 (same-stage blocks may start
+//     in increasing micro order without loss of optimality).
+//
+// The problem is NP-hard (§III-B); the solver therefore accepts node and
+// wall-clock budgets and reports whether the returned result is proven
+// optimal. Figure 3 of the paper — search time exploding with the number of
+// micro-batches — reproduces directly on this solver.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tessel/internal/sched"
+)
+
+// Unbounded mirrors sched.Unbounded for deadlines and memory capacities.
+const Unbounded = sched.Unbounded
+
+// Task is one block to schedule. Tasks are referenced by their index in the
+// slice passed to Solve.
+type Task struct {
+	// ID identifies the block (stage, micro) this task represents; the
+	// solver treats it as opaque except for Property 4.1 symmetry breaking,
+	// which groups tasks by ID.Stage.
+	ID sched.Block
+	// Time is the execution duration (must be positive).
+	Time int
+	// Mem is the memory delta applied to each device in Devices at start.
+	Mem int
+	// Devices are the devices the task occupies exclusively while running.
+	Devices []sched.DeviceID
+	// Preds lists indices of tasks that must finish before this task starts.
+	Preds []int
+	// Release is the earliest admissible start time (0 if none); used to
+	// model dependencies on blocks scheduled in an earlier phase.
+	Release int
+}
+
+// Options configures a Solve call. The zero value means: devices inferred
+// from tasks, unbounded memory, no deadline, full optimization, no budget.
+type Options struct {
+	// NumDevices is the device count D; if 0 it is inferred as 1 + the
+	// maximum device id used by any task.
+	NumDevices int
+	// Memory is the per-device capacity M (Unbounded disables the check).
+	// Zero means Unbounded for convenience.
+	Memory int
+	// InitialMem is per-device memory already in use at time 0 (nil = 0s).
+	InitialMem []int
+	// DeviceReady gives per-device earliest availability (nil = 0s), used
+	// when composing phases.
+	DeviceReady []int
+	// Deadline, when positive, bounds the admissible makespan; schedules
+	// ending after Deadline are rejected.
+	Deadline int
+	// SatisfyOnly stops at the first feasible schedule instead of proving
+	// optimality — the satisfiability check of the paper's lazy search
+	// optimization (§V).
+	SatisfyOnly bool
+	// MaxNodes bounds the number of search nodes (0 = unlimited). When the
+	// budget is exhausted the best incumbent is returned with Optimal=false.
+	MaxNodes int64
+	// Timeout bounds wall-clock time (0 = unlimited), same fallback.
+	Timeout time.Duration
+	// DisableSymmetry turns off Property 4.1 pruning (for ablations; the
+	// pruning requires intra-micro dependencies and micro-monotone release
+	// times per stage, which all Tessel phases satisfy).
+	DisableSymmetry bool
+	// DisableMemo turns off dominance memoization (for ablations).
+	DisableMemo bool
+	// UpperBound, when positive, seeds the incumbent: only schedules with
+	// makespan strictly below it are accepted.
+	UpperBound int
+}
+
+// Result reports the outcome of a Solve call.
+type Result struct {
+	// Feasible is true when a schedule satisfying all constraints (and the
+	// deadline, if any) was found.
+	Feasible bool
+	// Optimal is true when the search space was exhausted, proving the
+	// returned makespan minimal (always false if SatisfyOnly found early).
+	Optimal bool
+	// Makespan is the completion time of the best schedule found.
+	Makespan int
+	// Starts holds the start time per task (parallel to the input slice).
+	Starts []int
+	// Nodes is the number of search nodes expanded.
+	Nodes int64
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+}
+
+type searcher struct {
+	tasks []Task
+	opts  Options
+	d     int // device count
+
+	succs    [][]int // successor task indices
+	npred    []int   // predecessor counts
+	tail     []int   // longest duration path through successors (excl. self)
+	symPred  []int   // Property 4.1: same-stage task with next-smaller micro, or -1
+	topo     []int   // topological order of tasks
+	remWork  []int   // per-device remaining duration of unscheduled tasks
+	devAvail []int
+	devMem   []int
+	finish   []int // per task; -1 while unscheduled
+	starts   []int
+	sched    []bool
+	predLeft []int // unscheduled predecessor count
+	nSched   int
+	makespan int
+
+	hasSucc []bool
+
+	best      Result
+	bestSet   bool
+	deadline  int
+	nodes     int64
+	truncated bool
+	startTime time.Time
+	deadlineT time.Time
+	hasWallDL bool
+
+	memo64   map[uint64][][]int32 // used when the task set fits one word
+	memoStr  map[string][][]int32 // fallback for >64 tasks
+	memoSize int
+
+	maskWords int
+	mask      []uint64
+
+	est        []int   // scratch for critical-path bound
+	vecScratch []int32 // scratch for dominance probes
+	candPool   [][]candidate
+}
+
+const memoCap = 1 << 18
+
+// Solve finds a schedule for the given tasks under opts. It never panics on
+// well-formed input; malformed input (bad indices, non-positive durations)
+// returns a zero Result and an error.
+func Solve(tasks []Task, opts Options) (Result, error) {
+	if len(tasks) == 0 {
+		return Result{Feasible: true, Optimal: true}, nil
+	}
+	s, err := newSearcher(tasks, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	s.run()
+	s.best.Nodes = s.nodes
+	s.best.Elapsed = time.Since(s.startTime)
+	s.best.Optimal = s.bestSet && !s.truncated && !(opts.SatisfyOnly)
+	if opts.SatisfyOnly && s.bestSet {
+		// A satisfying schedule is "optimal" in the sense the caller asked
+		// for: it answers the satisfiability query definitively.
+		s.best.Optimal = true
+	}
+	if !s.bestSet && !s.truncated {
+		// Exhausted the space without a solution: proven infeasible.
+		s.best.Optimal = true
+	}
+	return s.best, nil
+}
+
+func newSearcher(tasks []Task, opts Options) (*searcher, error) {
+	d := opts.NumDevices
+	for i := range tasks {
+		if tasks[i].Time <= 0 {
+			return nil, fmt.Errorf("task %d: non-positive duration %d", i, tasks[i].Time)
+		}
+		if len(tasks[i].Devices) == 0 {
+			return nil, fmt.Errorf("task %d: no devices", i)
+		}
+		for _, dev := range tasks[i].Devices {
+			if dev < 0 {
+				return nil, fmt.Errorf("task %d: negative device %d", i, dev)
+			}
+			if int(dev)+1 > d {
+				d = int(dev) + 1
+			}
+		}
+		for _, p := range tasks[i].Preds {
+			if p < 0 || p >= len(tasks) || p == i {
+				return nil, fmt.Errorf("task %d: bad predecessor index %d", i, p)
+			}
+		}
+	}
+	s := &searcher{tasks: tasks, opts: opts, d: d}
+	if opts.Memory == 0 {
+		s.opts.Memory = Unbounded
+	}
+	s.deadline = opts.Deadline
+	if s.deadline <= 0 {
+		s.deadline = Unbounded
+	}
+	n := len(tasks)
+	s.succs = make([][]int, n)
+	s.npred = make([]int, n)
+	for i := range tasks {
+		for _, p := range tasks[i].Preds {
+			s.succs[p] = append(s.succs[p], i)
+			s.npred[i]++
+		}
+	}
+	// Topological order (also detects cycles).
+	indeg := append([]int(nil), s.npred...)
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		sort.Ints(queue)
+		u := queue[0]
+		queue = queue[1:]
+		s.topo = append(s.topo, u)
+		for _, v := range s.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(s.topo) != n {
+		return nil, fmt.Errorf("dependency graph has a cycle")
+	}
+	// Tail lengths: longest duration path strictly below each task.
+	s.tail = make([]int, n)
+	for idx := n - 1; idx >= 0; idx-- {
+		u := s.topo[idx]
+		for _, v := range s.succs[u] {
+			if t := s.tasks[v].Time + s.tail[v]; t > s.tail[u] {
+				s.tail[u] = t
+			}
+		}
+	}
+	// Property 4.1 chains: for each stage, order tasks by micro.
+	s.symPred = make([]int, n)
+	for i := range s.symPred {
+		s.symPred[i] = -1
+	}
+	if !opts.DisableSymmetry {
+		byStage := map[int][]int{}
+		for i := range tasks {
+			byStage[tasks[i].ID.Stage] = append(byStage[tasks[i].ID.Stage], i)
+		}
+		for _, group := range byStage {
+			sort.Slice(group, func(a, b int) bool {
+				return tasks[group[a]].ID.Micro < tasks[group[b]].ID.Micro
+			})
+			for k := 1; k < len(group); k++ {
+				if tasks[group[k]].ID.Micro != tasks[group[k-1]].ID.Micro {
+					s.symPred[group[k]] = group[k-1]
+				}
+			}
+		}
+	}
+	s.hasSucc = make([]bool, n)
+	for i := range s.succs {
+		if len(s.succs[i]) > 0 {
+			s.hasSucc[i] = true
+		}
+	}
+	s.remWork = make([]int, d)
+	for i := range tasks {
+		for _, dev := range tasks[i].Devices {
+			s.remWork[dev] += tasks[i].Time
+		}
+	}
+	s.devAvail = make([]int, d)
+	if opts.DeviceReady != nil {
+		copy(s.devAvail, opts.DeviceReady)
+	}
+	s.devMem = make([]int, d)
+	if opts.InitialMem != nil {
+		copy(s.devMem, opts.InitialMem)
+	}
+	s.finish = make([]int, n)
+	s.starts = make([]int, n)
+	for i := range s.finish {
+		s.finish[i] = -1
+		s.starts[i] = -1
+	}
+	s.sched = make([]bool, n)
+	s.predLeft = append([]int(nil), s.npred...)
+	s.maskWords = (n + 63) / 64
+	s.mask = make([]uint64, s.maskWords)
+	if s.maskWords == 1 {
+		s.memo64 = make(map[uint64][][]int32)
+	} else {
+		s.memoStr = make(map[string][][]int32)
+	}
+	s.est = make([]int, n)
+	s.best.Makespan = math.MaxInt / 2
+	if opts.UpperBound > 0 {
+		s.best.Makespan = opts.UpperBound
+	}
+	s.startTime = time.Now()
+	if opts.Timeout > 0 {
+		s.deadlineT = s.startTime.Add(opts.Timeout)
+		s.hasWallDL = true
+	}
+	return s, nil
+}
+
+func (s *searcher) run() {
+	// Seed the incumbent with a greedy dispatch so pruning bites early.
+	if starts, ms, ok := s.greedy(); ok && ms < s.best.Makespan && ms <= s.deadline {
+		s.record(starts, ms)
+		if s.opts.SatisfyOnly {
+			return
+		}
+	}
+	s.dfs()
+}
+
+func (s *searcher) record(starts []int, makespan int) {
+	s.best.Feasible = true
+	s.best.Makespan = makespan
+	s.best.Starts = append([]int(nil), starts...)
+	s.bestSet = true
+}
+
+// greedy runs a deterministic list-scheduling dispatch: always append the
+// eligible task with the smallest start time, breaking ties by the longest
+// tail. It respects every constraint, so any complete dispatch is feasible.
+func (s *searcher) greedy() ([]int, int, bool) {
+	n := len(s.tasks)
+	sched := make([]bool, n)
+	predLeft := append([]int(nil), s.npred...)
+	devAvail := append([]int(nil), s.devAvail...)
+	devMem := append([]int(nil), s.devMem...)
+	finish := make([]int, n)
+	starts := make([]int, n)
+	symDone := make([]bool, n)
+	makespan := 0
+	for done := 0; done < n; done++ {
+		bestT, bestStart := -1, 0
+		for t := 0; t < n; t++ {
+			if sched[t] || predLeft[t] > 0 {
+				continue
+			}
+			if sp := s.symPred[t]; sp >= 0 && !symDone[sp] {
+				continue
+			}
+			ok := true
+			for _, dev := range s.tasks[t].Devices {
+				if devMem[dev]+s.tasks[t].Mem > s.opts.Memory {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			st := s.tasks[t].Release
+			for _, dev := range s.tasks[t].Devices {
+				if devAvail[dev] > st {
+					st = devAvail[dev]
+				}
+			}
+			for _, p := range s.tasks[t].Preds {
+				if finish[p] > st {
+					st = finish[p]
+				}
+			}
+			if bestT < 0 || st < bestStart ||
+				(st == bestStart && s.tail[t] > s.tail[bestT]) {
+				bestT, bestStart = t, st
+			}
+		}
+		if bestT < 0 {
+			return nil, 0, false // memory deadlock under greedy order
+		}
+		t := bestT
+		sched[t] = true
+		symDone[t] = true
+		starts[t] = bestStart
+		finish[t] = bestStart + s.tasks[t].Time
+		if finish[t] > makespan {
+			makespan = finish[t]
+		}
+		for _, dev := range s.tasks[t].Devices {
+			devAvail[dev] = finish[t]
+			devMem[dev] += s.tasks[t].Mem
+		}
+		for _, v := range s.succs[t] {
+			predLeft[v]--
+		}
+	}
+	return starts, makespan, true
+}
+
+func (s *searcher) outOfBudget() bool {
+	if s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes {
+		return true
+	}
+	if s.hasWallDL && s.nodes%256 == 0 && time.Now().After(s.deadlineT) {
+		return true
+	}
+	return false
+}
+
+// deviceBound is the cheap device-load lower bound.
+func (s *searcher) deviceBound() int {
+	lb := s.makespan
+	for dev := 0; dev < s.d; dev++ {
+		if b := s.devAvail[dev] + s.remWork[dev]; b > lb {
+			lb = b
+		}
+	}
+	return lb
+}
+
+// pathBound is the critical-path lower bound: earliest start estimates over
+// unscheduled tasks in topological order (ignoring device contention and
+// memory, which keeps it a valid lower bound) plus tail lengths.
+func (s *searcher) pathBound() int {
+	lb := 0
+	for _, u := range s.topo {
+		if s.sched[u] {
+			continue
+		}
+		est := s.tasks[u].Release
+		for _, dev := range s.tasks[u].Devices {
+			if s.devAvail[dev] > est {
+				est = s.devAvail[dev]
+			}
+		}
+		for _, p := range s.tasks[u].Preds {
+			var pf int
+			if s.sched[p] {
+				pf = s.finish[p]
+			} else {
+				pf = s.est[p] + s.tasks[p].Time
+			}
+			if pf > est {
+				est = pf
+			}
+		}
+		s.est[u] = est
+		if b := est + s.tasks[u].Time + s.tail[u]; b > lb {
+			lb = b
+		}
+	}
+	return lb
+}
+
+// fillStateVector writes the dominance state into dst: device availability
+// plus finish times of scheduled tasks that still have successors.
+// Componentwise-≤ states dominate.
+func (s *searcher) fillStateVector(dst []int32) []int32 {
+	dst = dst[:0]
+	for dev := 0; dev < s.d; dev++ {
+		dst = append(dst, int32(s.devAvail[dev]))
+	}
+	for t := range s.tasks {
+		if s.sched[t] && s.hasSucc[t] {
+			dst = append(dst, int32(s.finish[t]))
+		}
+	}
+	return dst
+}
+
+func dominates(a, b []int32) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memoPrune returns true when a previously seen state with the same
+// scheduled set dominates the current one.
+func (s *searcher) memoPrune() bool {
+	if s.opts.DisableMemo {
+		return false
+	}
+	s.vecScratch = s.fillStateVector(s.vecScratch)
+	vec := s.vecScratch
+	var entries [][]int32
+	var key64 uint64
+	var keyStr string
+	if s.memo64 != nil {
+		key64 = s.mask[0]
+		entries = s.memo64[key64]
+	} else {
+		buf := make([]byte, s.maskWords*8)
+		for w, word := range s.mask {
+			for b := 0; b < 8; b++ {
+				buf[w*8+b] = byte(word >> (8 * b))
+			}
+		}
+		keyStr = string(buf)
+		entries = s.memoStr[keyStr]
+	}
+	for _, e := range entries {
+		if dominates(e, vec) {
+			return true
+		}
+	}
+	if s.memoSize < memoCap {
+		// Drop entries the new vector dominates, then insert a copy.
+		kept := entries[:0]
+		for _, e := range entries {
+			if !dominates(vec, e) {
+				kept = append(kept, e)
+			}
+		}
+		kept = append(kept, append([]int32(nil), vec...))
+		if s.memo64 != nil {
+			s.memo64[key64] = kept
+		} else {
+			s.memoStr[keyStr] = kept
+		}
+		s.memoSize++
+	}
+	return false
+}
+
+type candidate struct {
+	task  int
+	start int
+}
+
+func (s *searcher) dfs() {
+	s.nodes++
+	if s.outOfBudget() {
+		s.truncated = true
+		return
+	}
+	n := len(s.tasks)
+	if s.nSched == n {
+		if s.makespan <= s.deadline && s.makespan < s.best.Makespan {
+			s.record(s.starts, s.makespan)
+		}
+		return
+	}
+	if s.opts.SatisfyOnly && s.bestSet {
+		return
+	}
+	if lb := s.deviceBound(); lb > s.deadline || lb >= s.best.Makespan {
+		return
+	}
+	if lb := s.pathBound(); lb > s.deadline || lb >= s.best.Makespan {
+		return
+	}
+	if s.memoPrune() {
+		return
+	}
+	// Collect candidates: eligible tasks and their earliest starts, into a
+	// per-depth reusable buffer (dfs depth equals nSched).
+	for len(s.candPool) <= s.nSched {
+		s.candPool = append(s.candPool, make([]candidate, 0, n))
+	}
+	cands := s.candPool[s.nSched][:0]
+	for t := 0; t < n; t++ {
+		if s.sched[t] || s.predLeft[t] > 0 {
+			continue
+		}
+		if sp := s.symPred[t]; sp >= 0 && !s.sched[sp] {
+			continue
+		}
+		memOK := true
+		for _, dev := range s.tasks[t].Devices {
+			if s.devMem[dev]+s.tasks[t].Mem > s.opts.Memory {
+				memOK = false
+				break
+			}
+		}
+		if !memOK {
+			continue
+		}
+		st := s.tasks[t].Release
+		for _, dev := range s.tasks[t].Devices {
+			if s.devAvail[dev] > st {
+				st = s.devAvail[dev]
+			}
+		}
+		for _, p := range s.tasks[t].Preds {
+			if s.finish[p] > st {
+				st = s.finish[p]
+			}
+		}
+		if st+s.tasks[t].Time+s.tail[t] > s.deadline ||
+			st+s.tasks[t].Time+s.tail[t] >= s.best.Makespan {
+			continue
+		}
+		cands = append(cands, candidate{task: t, start: st})
+	}
+	if len(cands) == 0 {
+		return // dead end (memory deadlock) or fully pruned
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].start != cands[j].start {
+			return cands[i].start < cands[j].start
+		}
+		ti, tj := cands[i].task, cands[j].task
+		if s.tail[ti] != s.tail[tj] {
+			return s.tail[ti] > s.tail[tj]
+		}
+		return ti < tj
+	})
+	var savedAvail [8]int
+	for _, c := range cands {
+		devs := s.tasks[c.task].Devices
+		saved := savedAvail[:0]
+		if len(devs) > len(savedAvail) {
+			saved = make([]int, 0, len(devs))
+		}
+		for _, dev := range devs {
+			saved = append(saved, s.devAvail[dev])
+		}
+		savedMakespan := s.makespan
+		s.apply(c)
+		s.dfs()
+		s.undo(c, saved, savedMakespan)
+		if s.truncated || (s.opts.SatisfyOnly && s.bestSet) {
+			return
+		}
+	}
+}
+
+func (s *searcher) apply(c candidate) {
+	t := c.task
+	s.sched[t] = true
+	s.mask[t/64] |= 1 << (uint(t) % 64)
+	s.starts[t] = c.start
+	s.finish[t] = c.start + s.tasks[t].Time
+	if s.finish[t] > s.makespan {
+		s.makespan = s.finish[t]
+	}
+	for _, dev := range s.tasks[t].Devices {
+		s.devAvail[dev] = s.finish[t]
+		s.devMem[dev] += s.tasks[t].Mem
+		s.remWork[dev] -= s.tasks[t].Time
+	}
+	for _, v := range s.succs[t] {
+		s.predLeft[v]--
+	}
+	s.nSched++
+}
+
+func (s *searcher) undo(c candidate, savedAvail []int, savedMakespan int) {
+	t := c.task
+	s.nSched--
+	for _, v := range s.succs[t] {
+		s.predLeft[v]++
+	}
+	for i, dev := range s.tasks[t].Devices {
+		s.devMem[dev] -= s.tasks[t].Mem
+		s.remWork[dev] += s.tasks[t].Time
+		s.devAvail[dev] = savedAvail[i]
+	}
+	s.sched[t] = false
+	s.mask[t/64] &^= 1 << (uint(t) % 64)
+	s.starts[t] = -1
+	s.finish[t] = -1
+	s.makespan = savedMakespan
+}

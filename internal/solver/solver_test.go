@@ -1,0 +1,602 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tessel/internal/sched"
+)
+
+// vshape builds a V-shape placement on d devices with fwd/bwd times and
+// activation memory +1/−1 per stage.
+func vshape(d, fwd, bwd int) *sched.Placement {
+	p := &sched.Placement{Name: "v", NumDevices: d}
+	for i := 0; i < d; i++ {
+		p.Stages = append(p.Stages, sched.Stage{Name: "f", Kind: sched.Forward, Time: fwd, Mem: 1, Devices: []sched.DeviceID{sched.DeviceID(i)}})
+	}
+	for i := d - 1; i >= 0; i-- {
+		p.Stages = append(p.Stages, sched.Stage{Name: "b", Kind: sched.Backward, Time: bwd, Mem: -1, Devices: []sched.DeviceID{sched.DeviceID(i)}})
+	}
+	p.Deps = make([][]int, 2*d)
+	for i := 0; i < 2*d-1; i++ {
+		p.Deps[i] = []int{i + 1}
+	}
+	return p
+}
+
+func mustSolve(t *testing.T, tasks []Task, opts Options) Result {
+	t.Helper()
+	res, err := Solve(tasks, opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func validate(t *testing.T, p *sched.Placement, tasks []Task, res Result, mem int, initMem []int) {
+	t.Helper()
+	s, err := ToSchedule(p, tasks, res)
+	if err != nil {
+		t.Fatalf("ToSchedule: %v", err)
+	}
+	if err := s.Validate(sched.ValidateOptions{Memory: mem, InitialMem: initMem}); err != nil {
+		t.Fatalf("solver produced invalid schedule: %v", err)
+	}
+	// Release times must be honored.
+	for i, task := range tasks {
+		if res.Starts[i] < task.Release {
+			t.Fatalf("task %d starts %d before release %d", i, res.Starts[i], task.Release)
+		}
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	res, err := Solve(nil, Options{})
+	if err != nil || !res.Feasible || !res.Optimal {
+		t.Fatalf("empty solve: res=%+v err=%v", res, err)
+	}
+}
+
+func TestSolveSingleTask(t *testing.T) {
+	tasks := []Task{{ID: sched.Block{}, Time: 5, Devices: []sched.DeviceID{0}}}
+	res := mustSolve(t, tasks, Options{})
+	if !res.Feasible || res.Makespan != 5 || res.Starts[0] != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSolveChainRespectDeps(t *testing.T) {
+	// Two-task chain on different devices: makespan is the sum of times.
+	tasks := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 3, Devices: []sched.DeviceID{0}},
+		{ID: sched.Block{Stage: 1}, Time: 4, Devices: []sched.DeviceID{1}, Preds: []int{0}},
+	}
+	res := mustSolve(t, tasks, Options{})
+	if res.Makespan != 7 {
+		t.Fatalf("makespan = %d, want 7", res.Makespan)
+	}
+}
+
+func TestSolveParallelIndependent(t *testing.T) {
+	// Independent tasks on distinct devices run concurrently.
+	tasks := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 3, Devices: []sched.DeviceID{0}},
+		{ID: sched.Block{Stage: 1}, Time: 4, Devices: []sched.DeviceID{1}},
+	}
+	res := mustSolve(t, tasks, Options{})
+	if res.Makespan != 4 {
+		t.Fatalf("makespan = %d, want 4", res.Makespan)
+	}
+}
+
+func TestSolveExclusiveDevice(t *testing.T) {
+	// Same device forces serialization.
+	tasks := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 3, Devices: []sched.DeviceID{0}},
+		{ID: sched.Block{Stage: 1}, Time: 4, Devices: []sched.DeviceID{0}},
+	}
+	res := mustSolve(t, tasks, Options{})
+	if res.Makespan != 7 {
+		t.Fatalf("makespan = %d, want 7", res.Makespan)
+	}
+}
+
+func TestSolveMultiDeviceBlock(t *testing.T) {
+	// A tensor-parallel block occupying both devices serializes with both.
+	tasks := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 2, Devices: []sched.DeviceID{0, 1}},
+		{ID: sched.Block{Stage: 1}, Time: 3, Devices: []sched.DeviceID{0}},
+		{ID: sched.Block{Stage: 2}, Time: 3, Devices: []sched.DeviceID{1}},
+	}
+	res := mustSolve(t, tasks, Options{})
+	if res.Makespan != 5 {
+		t.Fatalf("makespan = %d, want 5 (TP block then two parallel)", res.Makespan)
+	}
+}
+
+func TestSolveRelease(t *testing.T) {
+	tasks := []Task{{ID: sched.Block{}, Time: 2, Devices: []sched.DeviceID{0}, Release: 10}}
+	res := mustSolve(t, tasks, Options{})
+	if res.Starts[0] != 10 || res.Makespan != 12 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSolveDeviceReady(t *testing.T) {
+	tasks := []Task{{ID: sched.Block{}, Time: 2, Devices: []sched.DeviceID{0}}}
+	res := mustSolve(t, tasks, Options{DeviceReady: []int{7}, NumDevices: 1})
+	if res.Starts[0] != 7 {
+		t.Fatalf("start = %d, want 7", res.Starts[0])
+	}
+}
+
+func TestSolveMemoryForcesInterleave(t *testing.T) {
+	// Two +1 forwards and two −1 backwards on one device with capacity 1:
+	// a backward must run between the forwards.
+	fwd := func(m int) Task {
+		return Task{ID: sched.Block{Stage: 0, Micro: m}, Time: 1, Mem: 1, Devices: []sched.DeviceID{0}}
+	}
+	tasks := []Task{
+		fwd(0), fwd(1),
+		{ID: sched.Block{Stage: 1, Micro: 0}, Time: 1, Mem: -1, Devices: []sched.DeviceID{0}, Preds: []int{0}},
+		{ID: sched.Block{Stage: 1, Micro: 1}, Time: 1, Mem: -1, Devices: []sched.DeviceID{0}, Preds: []int{1}},
+	}
+	res := mustSolve(t, tasks, Options{Memory: 1})
+	if !res.Feasible {
+		t.Fatal("should be feasible with interleaving")
+	}
+	// Verify the order: f0 b0 f1 b1 (memory never exceeds 1).
+	mem, peak := 0, 0
+	type ev struct{ start, delta int }
+	var evs []ev
+	for i := range tasks {
+		evs = append(evs, ev{res.Starts[i], tasks[i].Mem})
+	}
+	for i := 0; i < len(evs); i++ {
+		for j := i + 1; j < len(evs); j++ {
+			if evs[j].start < evs[i].start {
+				evs[i], evs[j] = evs[j], evs[i]
+			}
+		}
+	}
+	for _, e := range evs {
+		mem += e.delta
+		if mem > peak {
+			peak = mem
+		}
+	}
+	if peak > 1 {
+		t.Fatalf("peak memory %d exceeds capacity 1", peak)
+	}
+}
+
+func TestSolveMemoryInfeasible(t *testing.T) {
+	// A single +2 block with capacity 1 is infeasible and proven so.
+	tasks := []Task{{ID: sched.Block{}, Time: 1, Mem: 2, Devices: []sched.DeviceID{0}}}
+	res := mustSolve(t, tasks, Options{Memory: 1})
+	if res.Feasible {
+		t.Fatal("should be infeasible")
+	}
+	if !res.Optimal {
+		t.Fatal("infeasibility should be proven")
+	}
+}
+
+func TestSolveInitialMemory(t *testing.T) {
+	tasks := []Task{{ID: sched.Block{}, Time: 1, Mem: 1, Devices: []sched.DeviceID{0}}}
+	res := mustSolve(t, tasks, Options{Memory: 1, InitialMem: []int{1}, NumDevices: 1})
+	if res.Feasible {
+		t.Fatal("initial memory should make this infeasible")
+	}
+}
+
+func TestSolveDeadline(t *testing.T) {
+	tasks := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 3, Devices: []sched.DeviceID{0}},
+		{ID: sched.Block{Stage: 1}, Time: 4, Devices: []sched.DeviceID{0}},
+	}
+	res := mustSolve(t, tasks, Options{Deadline: 6})
+	if res.Feasible {
+		t.Fatal("deadline 6 < optimum 7 should be infeasible")
+	}
+	res = mustSolve(t, tasks, Options{Deadline: 7})
+	if !res.Feasible || res.Makespan != 7 {
+		t.Fatalf("deadline 7 should be met exactly: %+v", res)
+	}
+}
+
+func TestSolveSatisfyOnly(t *testing.T) {
+	p := vshape(4, 1, 2)
+	tasks, err := BuildTasks(p, AllBlocks(p, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustSolve(t, tasks, Options{SatisfyOnly: true})
+	if !res.Feasible || !res.Optimal {
+		t.Fatalf("satisfy-only failed: %+v", res)
+	}
+	validate(t, p, tasks, res, sched.Unbounded, nil)
+}
+
+func TestSolveCycleDetected(t *testing.T) {
+	tasks := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 1, Devices: []sched.DeviceID{0}, Preds: []int{1}},
+		{ID: sched.Block{Stage: 1}, Time: 1, Devices: []sched.DeviceID{0}, Preds: []int{0}},
+	}
+	if _, err := Solve(tasks, Options{}); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestSolveRejectsBadTask(t *testing.T) {
+	if _, err := Solve([]Task{{Time: 0, Devices: []sched.DeviceID{0}}}, Options{}); err == nil {
+		t.Fatal("zero time accepted")
+	}
+	if _, err := Solve([]Task{{Time: 1}}, Options{}); err == nil {
+		t.Fatal("no devices accepted")
+	}
+	if _, err := Solve([]Task{{Time: 1, Devices: []sched.DeviceID{0}, Preds: []int{5}}}, Options{}); err == nil {
+		t.Fatal("bad pred accepted")
+	}
+	if _, err := Solve([]Task{{Time: 1, Devices: []sched.DeviceID{-1}}}, Options{}); err == nil {
+		t.Fatal("negative device accepted")
+	}
+}
+
+func TestSolveVShapeOneMicroBatch(t *testing.T) {
+	// One micro-batch of V-shape is a pure chain: makespan = sum of times.
+	p := vshape(4, 1, 2)
+	tasks, err := BuildTasks(p, AllBlocks(p, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustSolve(t, tasks, Options{})
+	if res.Makespan != 4*1+4*2 {
+		t.Fatalf("makespan = %d, want 12", res.Makespan)
+	}
+	validate(t, p, tasks, res, sched.Unbounded, nil)
+}
+
+func TestSolveVShapeMultipleMicroBatches(t *testing.T) {
+	// Known optimum for V-shape pipelines: makespan = chain + (N−1)·bottleneck.
+	p := vshape(3, 1, 2)
+	for n := 2; n <= 3; n++ {
+		tasks, err := BuildTasks(p, AllBlocks(p, n), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mustSolve(t, tasks, Options{})
+		want := 9 + (n-1)*3
+		if res.Makespan != want {
+			t.Fatalf("n=%d makespan = %d, want %d", n, res.Makespan, want)
+		}
+		if !res.Optimal {
+			t.Fatalf("n=%d not proven optimal", n)
+		}
+		validate(t, p, tasks, res, sched.Unbounded, nil)
+	}
+}
+
+func TestSolveBudgetTruncation(t *testing.T) {
+	p := vshape(4, 1, 2)
+	tasks, err := BuildTasks(p, AllBlocks(p, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustSolve(t, tasks, Options{MaxNodes: 2})
+	// The greedy incumbent still gives a feasible schedule.
+	if !res.Feasible {
+		t.Fatal("greedy incumbent missing under tiny budget")
+	}
+	if res.Optimal {
+		t.Fatal("tiny budget cannot prove optimality")
+	}
+	validate(t, p, tasks, res, sched.Unbounded, nil)
+}
+
+func TestSolveTimeout(t *testing.T) {
+	p := vshape(4, 1, 2)
+	tasks, err := BuildTasks(p, AllBlocks(p, 6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res := mustSolve(t, tasks, Options{Timeout: 50 * time.Millisecond})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout not honored")
+	}
+	if !res.Feasible {
+		t.Fatal("greedy incumbent missing")
+	}
+}
+
+// bruteForce enumerates every precedence-feasible order with earliest-start
+// replay — the reference optimum for small instances.
+func bruteForce(tasks []Task, opts Options) (int, bool) {
+	n := len(tasks)
+	d := opts.NumDevices
+	for i := range tasks {
+		for _, dev := range tasks[i].Devices {
+			if int(dev)+1 > d {
+				d = int(dev) + 1
+			}
+		}
+	}
+	mem := opts.Memory
+	if mem == 0 {
+		mem = Unbounded
+	}
+	best := -1
+	scheduled := make([]bool, n)
+	finish := make([]int, n)
+	devAvail := make([]int, d)
+	devMem := make([]int, d)
+	if opts.InitialMem != nil {
+		copy(devMem, opts.InitialMem)
+	}
+	var rec func(done, makespan int)
+	rec = func(done, makespan int) {
+		if done == n {
+			if best < 0 || makespan < best {
+				best = makespan
+			}
+			return
+		}
+		for t := 0; t < n; t++ {
+			if scheduled[t] {
+				continue
+			}
+			ok := true
+			for _, p := range tasks[t].Preds {
+				if !scheduled[p] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, dev := range tasks[t].Devices {
+				if devMem[dev]+tasks[t].Mem > mem {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			st := tasks[t].Release
+			for _, dev := range tasks[t].Devices {
+				if devAvail[dev] > st {
+					st = devAvail[dev]
+				}
+			}
+			for _, p := range tasks[t].Preds {
+				if finish[p] > st {
+					st = finish[p]
+				}
+			}
+			fin := st + tasks[t].Time
+			var savedAvail []int
+			for _, dev := range tasks[t].Devices {
+				savedAvail = append(savedAvail, devAvail[dev])
+				devAvail[dev] = fin
+				devMem[dev] += tasks[t].Mem
+			}
+			scheduled[t] = true
+			finish[t] = fin
+			ms := makespan
+			if fin > ms {
+				ms = fin
+			}
+			rec(done+1, ms)
+			scheduled[t] = false
+			for i, dev := range tasks[t].Devices {
+				devAvail[dev] = savedAvail[i]
+				devMem[dev] -= tasks[t].Mem
+			}
+		}
+	}
+	rec(0, 0)
+	return best, best >= 0
+}
+
+// randomInstance builds a random small task set (≤7 tasks) with a random
+// DAG, durations, devices, memory deltas and releases.
+func randomInstance(rng *rand.Rand) ([]Task, Options) {
+	n := 3 + rng.Intn(5)
+	d := 1 + rng.Intn(3)
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		tasks[i] = Task{
+			ID:      sched.Block{Stage: i, Micro: 0},
+			Time:    1 + rng.Intn(4),
+			Mem:     rng.Intn(3) - 1,
+			Devices: []sched.DeviceID{sched.DeviceID(rng.Intn(d))},
+			Release: rng.Intn(3),
+		}
+		// Edges only from lower to higher index → acyclic.
+		for j := 0; j < i; j++ {
+			if rng.Intn(4) == 0 {
+				tasks[i].Preds = append(tasks[i].Preds, j)
+			}
+		}
+	}
+	opts := Options{NumDevices: d, Memory: Unbounded}
+	if rng.Intn(2) == 0 {
+		opts.Memory = 2 + rng.Intn(3)
+	}
+	return tasks, opts
+}
+
+// TestSolveMatchesBruteForce is the key correctness property: on random
+// small instances the B&B optimum equals exhaustive enumeration. Symmetry
+// breaking is disabled because random instances don't satisfy its
+// precondition (identical same-stage structure across micro-batches).
+func TestSolveMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tasks, opts := randomInstance(rng)
+		opts.DisableSymmetry = true
+		res, err := Solve(tasks, opts)
+		if err != nil {
+			return false
+		}
+		want, feasible := bruteForce(tasks, opts)
+		if feasible != res.Feasible {
+			t.Logf("seed %d: feasibility mismatch solver=%v brute=%v", seed, res.Feasible, feasible)
+			return false
+		}
+		if feasible && res.Makespan != want {
+			t.Logf("seed %d: makespan solver=%d brute=%d", seed, res.Makespan, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetryPreservesOptimum checks Property 4.1 soundness on pipeline
+// instances (where its precondition holds): optimum with and without
+// symmetry breaking coincide.
+func TestSymmetryPreservesOptimum(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		p := vshape(3, 1, 2)
+		tasks, err := BuildTasks(p, AllBlocks(p, n), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		with := mustSolve(t, tasks, Options{Memory: 3})
+		without := mustSolve(t, tasks, Options{Memory: 3, DisableSymmetry: true})
+		if with.Makespan != without.Makespan {
+			t.Fatalf("n=%d symmetry changes optimum: %d vs %d", n, with.Makespan, without.Makespan)
+		}
+	}
+}
+
+// TestMemoPreservesOptimum checks dominance memoization soundness.
+func TestMemoPreservesOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tasks, opts := randomInstance(rng)
+		opts.DisableSymmetry = true
+		with, err1 := Solve(tasks, opts)
+		optsNo := opts
+		optsNo.DisableMemo = true
+		without, err2 := Solve(tasks, optsNo)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return with.Feasible == without.Feasible &&
+			(!with.Feasible || with.Makespan == without.Makespan)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolverOutputAlwaysValid: every feasible result converts to a schedule
+// passing full validation.
+func TestSolverOutputAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := vshape(2+rng.Intn(3), 1+rng.Intn(2), 1+rng.Intn(3))
+		n := 1 + rng.Intn(3)
+		tasks, err := BuildTasks(p, AllBlocks(p, n), nil)
+		if err != nil {
+			return false
+		}
+		mem := 1 + rng.Intn(4)
+		res, err := Solve(tasks, Options{Memory: mem, NumDevices: p.NumDevices})
+		if err != nil {
+			return false
+		}
+		if !res.Feasible {
+			return true // nothing to validate
+		}
+		s, err := ToSchedule(p, tasks, res)
+		if err != nil {
+			return false
+		}
+		return s.Validate(sched.ValidateOptions{Memory: mem}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTasksDeps(t *testing.T) {
+	p := vshape(2, 1, 2)
+	blocks := AllBlocks(p, 2)
+	tasks, err := BuildTasks(p, blocks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 8 {
+		t.Fatalf("got %d tasks, want 8", len(tasks))
+	}
+	// Cross-micro-batch independence: each task's preds share its micro.
+	for _, task := range tasks {
+		for _, pi := range task.Preds {
+			if tasks[pi].ID.Micro != task.ID.Micro {
+				t.Fatalf("cross-micro dependency %v → %v", tasks[pi].ID, task.ID)
+			}
+		}
+	}
+}
+
+func TestBuildTasksReleases(t *testing.T) {
+	p := vshape(2, 1, 2)
+	blocks := []sched.Block{{Stage: 0, Micro: 0}}
+	tasks, err := BuildTasks(p, blocks, map[sched.Block]int{{Stage: 0, Micro: 0}: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].Release != 9 {
+		t.Fatalf("release = %d, want 9", tasks[0].Release)
+	}
+}
+
+func TestBuildTasksErrors(t *testing.T) {
+	p := vshape(2, 1, 2)
+	if _, err := BuildTasks(nil, nil, nil); err == nil {
+		t.Fatal("nil placement accepted")
+	}
+	if _, err := BuildTasks(p, []sched.Block{{Stage: 99, Micro: 0}}, nil); err == nil {
+		t.Fatal("out-of-range stage accepted")
+	}
+	if _, err := BuildTasks(p, []sched.Block{{Stage: 0, Micro: 0}, {Stage: 0, Micro: 0}}, nil); err == nil {
+		t.Fatal("duplicate block accepted")
+	}
+}
+
+func TestToScheduleErrors(t *testing.T) {
+	p := vshape(2, 1, 2)
+	tasks, _ := BuildTasks(p, AllBlocks(p, 1), nil)
+	if _, err := ToSchedule(p, tasks, Result{Feasible: false}); err == nil {
+		t.Fatal("infeasible result accepted")
+	}
+	if _, err := ToSchedule(p, tasks, Result{Feasible: true, Starts: []int{1}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestUpperBoundPrunes(t *testing.T) {
+	tasks := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 3, Devices: []sched.DeviceID{0}},
+		{ID: sched.Block{Stage: 1}, Time: 4, Devices: []sched.DeviceID{0}},
+	}
+	// UpperBound equal to the optimum excludes it (strict improvement only).
+	res := mustSolve(t, tasks, Options{UpperBound: 7})
+	if res.Feasible {
+		t.Fatal("upper bound 7 should exclude the only makespan 7")
+	}
+	res = mustSolve(t, tasks, Options{UpperBound: 8})
+	if !res.Feasible || res.Makespan != 7 {
+		t.Fatalf("res = %+v, want makespan 7", res)
+	}
+}

@@ -1,0 +1,134 @@
+// Package trace exports simulation results for inspection: Chrome
+// trace-event JSON (loadable in chrome://tracing or Perfetto) and tabular
+// per-device summaries. It is the observability layer a user points at when
+// a simulated schedule behaves unexpectedly.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+	"tessel/internal/sim"
+)
+
+// chromeEvent is one complete ("X") event of the Chrome trace format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int               `json:"ts"`  // microseconds
+	Dur  int               `json:"dur"` // microseconds
+	Pid  int               `json:"pid"` // device
+	Tid  int               `json:"tid"` // stream
+	Args map[string]string `json:"args,omitempty"`
+}
+
+func streamName(k sim.StreamKind) string {
+	switch k {
+	case sim.StreamCompute:
+		return "compute"
+	case sim.StreamSend:
+		return "send"
+	case sim.StreamRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("stream%d", int(k))
+	}
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON array format.
+func WriteChrome(w io.Writer, tr *sim.Trace) error {
+	if tr == nil {
+		return fmt.Errorf("trace: nil trace")
+	}
+	events := make([]chromeEvent, 0, len(tr.Ops)+8)
+	devices := map[int]bool{}
+	for _, ot := range tr.Ops {
+		devices[int(ot.Device)] = true
+		name := ""
+		cat := ""
+		args := map[string]string{}
+		switch ot.Op.Kind {
+		case runtime.OpCompute:
+			name = fmt.Sprintf("B%d@%d", ot.Op.Block.Stage, ot.Op.Block.Micro)
+			cat = "compute"
+			args["stage"] = fmt.Sprint(ot.Op.Block.Stage)
+			args["micro"] = fmt.Sprint(ot.Op.Block.Micro)
+		case runtime.OpSend:
+			name = fmt.Sprintf("send→%d", ot.Op.Peer)
+			cat = "comm"
+			args["bytes"] = fmt.Sprint(ot.Op.Bytes)
+		case runtime.OpRecv:
+			name = fmt.Sprintf("recv←%d", ot.Op.Peer)
+			cat = "comm"
+			args["bytes"] = fmt.Sprint(ot.Op.Bytes)
+		}
+		dur := ot.End - ot.Start
+		if dur < 1 {
+			dur = 1 // zero-duration markers are invisible in viewers
+		}
+		events = append(events, chromeEvent{
+			Name: name, Cat: cat, Ph: "X",
+			Ts: ot.Start, Dur: dur,
+			Pid: int(ot.Device), Tid: int(ot.Stream),
+			Args: args,
+		})
+	}
+	// Metadata: name the processes and threads.
+	var devs []int
+	for d := range devices {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	type meta struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	var metas []meta
+	for _, d := range devs {
+		metas = append(metas, meta{
+			Name: "process_name", Ph: "M", Pid: d,
+			Args: map[string]string{"name": fmt.Sprintf("device %d", d)},
+		})
+		for k := 0; k < 3; k++ {
+			metas = append(metas, meta{
+				Name: "thread_name", Ph: "M", Pid: d, Tid: k,
+				Args: map[string]string{"name": streamName(sim.StreamKind(k))},
+			})
+		}
+	}
+	// Emit as a single JSON array mixing metadata and events.
+	raw := make([]any, 0, len(metas)+len(events))
+	for _, m := range metas {
+		raw = append(raw, m)
+	}
+	for _, e := range events {
+		raw = append(raw, e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(raw)
+}
+
+// Summary renders a per-device utilization table from a trace.
+func Summary(tr *sim.Trace) string {
+	if tr == nil {
+		return "(nil trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %d µs\n", tr.Makespan)
+	fmt.Fprintf(&b, "%-8s %-12s %-12s %-10s %s\n", "device", "compute", "span", "wait", "blocking comm")
+	for d := range tr.ComputeBusy {
+		fmt.Fprintf(&b, "dev%-5d %-12d %-12d %-10s %d\n",
+			d, tr.ComputeBusy[d], tr.Span[d],
+			fmt.Sprintf("%.1f%%", 100*tr.WaitFraction(sched.DeviceID(d))), tr.BlockingComm[d])
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tessel/internal/baseline"
+	"tessel/internal/placement"
+	"tessel/internal/runtime"
+	"tessel/internal/sim"
+)
+
+func runTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	p, err := placement.VShape(placement.Config{Devices: 3, Fwd: 10, Bwd: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.OneFOneB(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Simulate(s, runtime.Options{NonBlocking: true}, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestWriteChromeWellFormed(t *testing.T) {
+	tr := runTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(events) < len(tr.Ops) {
+		t.Fatalf("%d events for %d ops", len(events), len(tr.Ops))
+	}
+	// Metadata names each device process.
+	var haveProcessName, haveComplete bool
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "process_name" {
+				haveProcessName = true
+			}
+		case "X":
+			haveComplete = true
+			if e["dur"].(float64) < 1 {
+				t.Fatal("zero-duration complete event")
+			}
+		}
+	}
+	if !haveProcessName || !haveComplete {
+		t.Fatal("missing metadata or complete events")
+	}
+}
+
+func TestWriteChromeEventCategories(t *testing.T) {
+	tr := runTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"cat":"compute"`, `"cat":"comm"`, `"name":"B0@0"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestWriteChromeNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := runTrace(t)
+	out := Summary(tr)
+	for _, want := range []string{"makespan", "dev0", "dev2", "wait"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %s", want, out)
+		}
+	}
+	if Summary(nil) == "" {
+		t.Fatal("nil summary empty")
+	}
+}
+
+func TestStreamNames(t *testing.T) {
+	if streamName(sim.StreamCompute) != "compute" || streamName(sim.StreamSend) != "send" || streamName(sim.StreamRecv) != "recv" {
+		t.Fatal("stream names wrong")
+	}
+	if streamName(sim.StreamKind(7)) == "" {
+		t.Fatal("unknown stream should render")
+	}
+}

@@ -1,0 +1,134 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"tessel/internal/baseline"
+	"tessel/internal/placement"
+	"tessel/internal/sched"
+)
+
+func schedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	p, err := placement.VShape(placement.Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.OneFOneB(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	s := schedule(t)
+	out := Render(s, Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 4 device rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for d := 1; d <= 4; d++ {
+		if !strings.HasPrefix(lines[d], "dev") {
+			t.Fatalf("line %d: %q", d, lines[d])
+		}
+	}
+	// Micro indices 0..3 all appear.
+	for _, digit := range []string{"0", "1", "2", "3"} {
+		if !strings.Contains(out, digit) {
+			t.Fatalf("missing micro %s:\n%s", digit, out)
+		}
+	}
+	// Device rows all have equal width.
+	w := len(lines[1])
+	for d := 2; d <= 4; d++ {
+		if len(lines[d]) != w {
+			t.Fatalf("ragged rows:\n%s", out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p, _ := placement.VShape(placement.Config{Devices: 2})
+	if out := Render(sched.NewSchedule(p), Options{}); !strings.Contains(out, "empty") {
+		t.Fatalf("out = %q", out)
+	}
+	if out := Render(nil, Options{}); !strings.Contains(out, "empty") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRenderWindowClips(t *testing.T) {
+	s := schedule(t)
+	full := Render(s, Options{})
+	window := Render(s, Options{From: 0, To: 3})
+	if len(window) >= len(full) {
+		t.Fatal("window not smaller than full render")
+	}
+	if out := Render(s, Options{From: 5, To: 5}); !strings.Contains(out, "empty window") {
+		t.Fatalf("degenerate window: %q", out)
+	}
+}
+
+func TestRenderScalesToMaxWidth(t *testing.T) {
+	s := schedule(t)
+	out := Render(s, Options{MaxWidth: 10})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines[1:] {
+		if len(l)-6 > 10 { // 6-char "devN  " prefix
+			t.Fatalf("row too wide: %q", l)
+		}
+	}
+	if !strings.Contains(out, "scale=") {
+		t.Fatal("scale not reported")
+	}
+}
+
+func TestRenderMarks(t *testing.T) {
+	s := schedule(t)
+	out := Render(s, Options{Marks: []int{0, 5}})
+	if !strings.Contains(out, "|") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+}
+
+func TestRenderRepetend(t *testing.T) {
+	s := schedule(t)
+	out := RenderRepetend(s, 3, 2, Options{})
+	if strings.Count(out, "|") < 2 {
+		t.Fatalf("period marks missing:\n%s", out)
+	}
+}
+
+func TestRenderBackwardDelimiters(t *testing.T) {
+	s := schedule(t)
+	out := Render(s, Options{})
+	if !strings.Contains(out, "(") || !strings.Contains(out, ")") {
+		t.Fatalf("backward delimiters missing:\n%s", out)
+	}
+}
+
+func TestMicroRune(t *testing.T) {
+	if microRune(3, false) != '3' {
+		t.Fatal("digit encoding")
+	}
+	if microRune(10, false) != 'a' || microRune(35, false) != 'z' {
+		t.Fatal("letter encoding")
+	}
+	if microRune(99, false) != '+' {
+		t.Fatal("overflow encoding")
+	}
+	if microRune(-1, false) != '?' {
+		t.Fatal("negative encoding")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := schedule(t)
+	out := Summary(s)
+	if !strings.Contains(out, "bubble") || !strings.Contains(out, "dev0") {
+		t.Fatalf("summary incomplete: %s", out)
+	}
+}

@@ -1,0 +1,195 @@
+// Package tessel is a from-scratch reproduction of "Tessel: Boosting
+// Distributed Execution of Large DNN Models via Flexible Schedule Search"
+// (HPCA 2024). Given an operator placement strategy — which device(s) run
+// which blocks of a DNN micro-batch, with integer time and memory costs —
+// Tessel automatically searches for an efficient pipeline schedule for any
+// number of micro-batches, for both training and inference.
+//
+// The package re-exports the library's public surface:
+//
+//   - placement construction: the paper's V/X/M/K/NN shapes
+//     (NewVShape, …) or arbitrary custom placements (Placement, Stage);
+//   - schedule search: Search (the paper's Algorithm 1), TimeOptimal (the
+//     exact whole-problem baseline);
+//   - predefined baselines: OneFOneB, OneFOneBPlus, GPipe, ChimeraDirect;
+//   - runtime instantiation and simulation: Instantiate, Simulate;
+//   - rendering: Render.
+//
+// A minimal session:
+//
+//	p, _ := tessel.NewVShape(tessel.ShapeConfig{Devices: 4})
+//	res, _ := tessel.Search(p, tessel.SearchOptions{N: 16})
+//	fmt.Print(tessel.Render(res.Full, tessel.RenderOptions{}))
+package tessel
+
+import (
+	"tessel/internal/baseline"
+	"tessel/internal/codegen"
+	"tessel/internal/core"
+	"tessel/internal/placement"
+	"tessel/internal/runtime"
+	"tessel/internal/sched"
+	"tessel/internal/sim"
+	"tessel/internal/trace"
+	"tessel/internal/viz"
+)
+
+// Core scheduling types (see internal/sched for full documentation).
+type (
+	// Placement is an operator placement strategy: K blocks per
+	// micro-batch with times, memory deltas, devices, and dependencies.
+	Placement = sched.Placement
+	// Stage is one block template of a placement.
+	Stage = sched.Stage
+	// Block identifies stage i of micro-batch n.
+	Block = sched.Block
+	// Schedule assigns start times to blocks.
+	Schedule = sched.Schedule
+	// DeviceID numbers devices 0..D−1.
+	DeviceID = sched.DeviceID
+	// Kind distinguishes forward/backward/aux blocks.
+	Kind = sched.Kind
+	// ValidateOptions parameterizes Schedule.Validate.
+	ValidateOptions = sched.ValidateOptions
+)
+
+// Block kinds.
+const (
+	Forward  = sched.Forward
+	Backward = sched.Backward
+	Aux      = sched.Aux
+)
+
+// Unbounded disables a memory constraint.
+const Unbounded = sched.Unbounded
+
+// ShapeConfig parameterizes the named placement builders.
+type ShapeConfig = placement.Config
+
+// Named placement builders (paper Figure 1).
+var (
+	// NewVShape builds the sequential pipeline (1F1B's placement).
+	NewVShape = placement.VShape
+	// NewXShape builds the bidirectional pipeline (Chimera's placement).
+	NewXShape = placement.XShape
+	// NewMShape distributes memory-heavy layers across all devices (GPT).
+	NewMShape = placement.MShape
+	// NewKShape places independent branches on device halves (Flava).
+	NewKShape = placement.KShape
+	// NewNNShape shares devices between encoder and decoder stages (mT5).
+	NewNNShape = placement.NNShape
+	// InferenceVariant strips backward blocks from a training placement.
+	InferenceVariant = placement.Inference
+)
+
+// SearchOptions configures Search (see internal/core.Options).
+type SearchOptions = core.Options
+
+// SearchResult is a completed search: the best repetend, the warmup /
+// body / cooldown phases, and the full N-micro-batch schedule.
+type SearchResult = core.Result
+
+// Search runs the paper's Algorithm 1: repetend construction, schedule
+// completion, and extension to opts.N micro-batches.
+func Search(p *Placement, opts SearchOptions) (*SearchResult, error) {
+	return core.Search(p, opts)
+}
+
+// TimeOptimal solves the whole scheduling problem exactly — the "TO"
+// baseline whose cost explodes with micro-batches (paper Figure 3).
+var TimeOptimal = core.TimeOptimal
+
+// MaxInflight computes the paper's CalMaxInflight bound.
+var MaxInflight = core.MaxInflight
+
+// Baseline schedules (paper §VI-A).
+var (
+	// OneFOneB is the 1F1B schedule for V-shape placements.
+	OneFOneB = baseline.OneFOneB
+	// OneFOneBPlus adapts 1F1B to placements with tensor-parallel blocks.
+	OneFOneBPlus = baseline.OneFOneBPlus
+	// GPipe flushes all forwards then all backwards.
+	GPipe = baseline.GPipe
+	// ChimeraDirect is the bidirectional Chimera schedule for X-shapes.
+	ChimeraDirect = baseline.ChimeraDirect
+	// Sequential runs micro-batches one at a time.
+	Sequential = baseline.Sequential
+	// TensorParallelPlacement shards every stage across all devices.
+	TensorParallelPlacement = baseline.TensorParallelPlacement
+	// SteadyBubble measures a schedule's steady-state bubble rate.
+	SteadyBubble = baseline.SteadyBubble
+)
+
+// Runtime instantiation (paper §IV-D).
+type (
+	// Program is the per-device instruction lists with communication.
+	Program = runtime.Program
+	// InstantiateOptions selects blocking vs non-blocking communication.
+	InstantiateOptions = runtime.Options
+)
+
+// Instantiate converts a schedule into executable per-device programs with
+// send/recv primitives inserted in deadlock-free order.
+func Instantiate(s *Schedule, opts InstantiateOptions) (*Program, error) {
+	return runtime.Instantiate(s, opts)
+}
+
+// Simulation (the testbed substitute).
+type (
+	// SimConfig is the hardware model (bandwidths, latencies, servers).
+	SimConfig = sim.Config
+	// Trace is a simulation result with per-device timings.
+	Trace = sim.Trace
+)
+
+// DefaultSimConfig models the paper's 8-GPU NVLink servers with 100 Gbps
+// InfiniBand between them.
+var DefaultSimConfig = sim.DefaultConfig
+
+// Simulate instantiates and executes a schedule on the simulated cluster.
+func Simulate(s *Schedule, rtOpts InstantiateOptions, cfg SimConfig) (*Trace, error) {
+	return sim.Simulate(s, rtOpts, cfg)
+}
+
+// Serialization: versioned JSON for placements and schedules, usable for
+// custom placement files and persisting searched schedules.
+var (
+	// EncodePlacement / DecodePlacement round-trip placements as JSON.
+	EncodePlacement = sched.EncodePlacement
+	DecodePlacement = sched.DecodePlacement
+	// EncodeSchedule / DecodeSchedule round-trip self-contained schedules.
+	EncodeSchedule = sched.EncodeSchedule
+	DecodeSchedule = sched.DecodeSchedule
+)
+
+// CodegenOptions configures per-device code emission.
+type CodegenOptions = codegen.Options
+
+// GenerateCode emits the per-device PyTorch-flavored code of an
+// instantiated program — the paper's final runtime-instantiation step.
+func GenerateCode(prog *Program, opts CodegenOptions) (string, error) {
+	return codegen.Program(prog, opts)
+}
+
+// WriteChromeTrace exports a simulation trace as Chrome trace-event JSON
+// (chrome://tracing / Perfetto).
+var WriteChromeTrace = trace.WriteChrome
+
+// TraceSummary renders a per-device utilization table from a trace.
+var TraceSummary = trace.Summary
+
+// RenderOptions controls ASCII Gantt rendering.
+type RenderOptions = viz.Options
+
+// Render draws a schedule as an ASCII Gantt chart in the style of the
+// paper's figures.
+func Render(s *Schedule, opts RenderOptions) string {
+	return viz.Render(s, opts)
+}
+
+// RenderRepetend renders a schedule with repetend-period marks.
+var RenderRepetend = viz.RenderRepetend
+
+// Extend rebuilds a searched schedule for a different micro-batch count
+// without re-running the repetend sweep (§III-C schedule generalization).
+var Extend = core.Extend

@@ -1,0 +1,125 @@
+package tessel_test
+
+import (
+	"strings"
+	"testing"
+
+	"tessel"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the README's
+// quickstart documents: build a placement, search, validate, render,
+// instantiate, simulate, and compare with a baseline.
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := tessel.NewVShape(tessel.ShapeConfig{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tessel.Search(p, tessel.SearchOptions{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BubbleRate != 0 {
+		t.Fatalf("bubble = %f", res.BubbleRate)
+	}
+	if err := res.Full.Validate(tessel.ValidateOptions{Memory: tessel.Unbounded}); err != nil {
+		t.Fatal(err)
+	}
+	chart := tessel.Render(res.Full, tessel.RenderOptions{})
+	if !strings.Contains(chart, "dev0") {
+		t.Fatalf("render: %q", chart)
+	}
+	prog, err := tessel.Instantiate(res.Full, tessel.InstantiateOptions{NonBlocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Sends() == 0 {
+		t.Fatal("no communication inserted")
+	}
+	tr, err := tessel.Simulate(res.Full, tessel.InstantiateOptions{NonBlocking: true}, tessel.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan <= 0 {
+		t.Fatal("empty trace")
+	}
+	// Baseline comparison through the facade.
+	b, err := tessel.OneFOneB(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tessel.SteadyBubble(b) > 0.05 {
+		t.Fatalf("1F1B steady bubble = %f", tessel.SteadyBubble(b))
+	}
+}
+
+func TestFacadeInferenceVariant(t *testing.T) {
+	p, err := tessel.NewKShape(tessel.ShapeConfig{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tessel.InferenceVariant(p)
+	for i := range q.Stages {
+		if q.Stages[i].Kind == tessel.Backward {
+			t.Fatal("backward block in inference variant")
+		}
+	}
+	res, err := tessel.Search(q, tessel.SearchOptions{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repetend.Period < res.LowerBound {
+		t.Fatal("period below lower bound")
+	}
+}
+
+func TestFacadeCustomPlacement(t *testing.T) {
+	// A custom 2-device placement built directly from the exported types.
+	p := &tessel.Placement{
+		Name:       "custom",
+		NumDevices: 2,
+		Stages: []tessel.Stage{
+			{Name: "a", Kind: tessel.Forward, Time: 2, Mem: 1, Devices: []tessel.DeviceID{0}},
+			{Name: "b", Kind: tessel.Forward, Time: 2, Mem: 1, Devices: []tessel.DeviceID{1}},
+			{Name: "a.b", Kind: tessel.Backward, Time: 4, Mem: -2, Devices: []tessel.DeviceID{0, 1}},
+		},
+		Deps: [][]int{{2}, {2}, nil},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tessel.Search(p, tessel.SearchOptions{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Full.Len() != 5*3 {
+		t.Fatalf("blocks = %d", res.Full.Len())
+	}
+}
+
+func TestFacadeTimeOptimal(t *testing.T) {
+	p, err := tessel.NewVShape(tessel.ShapeConfig{Devices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, sres, err := tessel.TimeOptimal(p, 2, tessel.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Optimal {
+		t.Fatal("small instance should be proven optimal")
+	}
+	if err := s.Validate(tessel.ValidateOptions{Memory: tessel.Unbounded}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMaxInflight(t *testing.T) {
+	p, err := tessel.NewVShape(tessel.ShapeConfig{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tessel.MaxInflight(p, 3); got != 3 {
+		t.Fatalf("MaxInflight = %d", got)
+	}
+}
