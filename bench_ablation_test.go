@@ -4,6 +4,7 @@
 package tessel_test
 
 import (
+	"context"
 	"testing"
 
 	"tessel"
@@ -24,7 +25,7 @@ func benchSearch(b *testing.B, p *tessel.Placement, opts core.Options) {
 	b.Helper()
 	opts.MaxNR = 4
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Search(p, opts); err != nil {
+		if _, err := core.Search(context.Background(), p, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func benchSolve(b *testing.B, opts solver.Options) {
 	b.Helper()
 	tasks := solverTasks(b, 4)
 	for i := 0; i < b.N; i++ {
-		res, err := solver.Solve(tasks, opts)
+		res, err := solver.Solve(context.Background(), tasks, opts)
 		if err != nil || !res.Feasible {
 			b.Fatalf("res=%+v err=%v", res, err)
 		}
@@ -109,7 +110,7 @@ func BenchmarkSolverScaling(b *testing.B) {
 		tasks := solverTasks(b, n)
 		b.Run(map[int]string{2: "nmb2", 4: "nmb4", 6: "nmb6"}[n], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := solver.Solve(tasks, solver.Options{}); err != nil {
+				if _, err := solver.Solve(context.Background(), tasks, solver.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,13 +6,15 @@
 //
 // or print the paper-style rows directly with cmd/tessel-bench. Benchmarks
 // use the quick sweep mode so a full -bench=. pass stays in the minutes
-// range; cmd/tessel-bench (without -quick) runs the complete sweeps whose
-// outputs EXPERIMENTS.md records.
+// range; EXPERIMENTS.md records a `tessel-bench -quick` run against the
+// paper's numbers.
 package tessel_test
 
 import (
+	"context"
 	"testing"
 
+	"tessel"
 	"tessel/internal/experiments"
 )
 
@@ -70,3 +72,90 @@ func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
 
 // BenchmarkFig17 regenerates Figure 17 (blocking vs non-blocking comm).
 func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// --- Serving-engine benchmarks -------------------------------------------
+//
+// The pair BenchmarkEngineColdSearch / BenchmarkEngineCacheHit quantifies
+// what the repetend cache buys a serving deployment: the cold path runs the
+// full N_R sweep for the m-shape placement, the hit path answers the same
+// request from the cache (fingerprint lookup + extension), which must be
+// orders of magnitude (≥100×) faster.
+
+func benchPlacement(b *testing.B) *tessel.Placement {
+	b.Helper()
+	p, err := tessel.NewMShape(tessel.ShapeConfig{Devices: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkFingerprint measures the canonical-encoding + SHA-256 identity
+// of a placement — the per-request overhead every engine lookup pays.
+func BenchmarkFingerprint(b *testing.B) {
+	p := benchPlacement(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tessel.Fingerprint(p) == "" {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}
+
+// BenchmarkEngineColdSearch measures a full search through a fresh engine
+// (every iteration misses).
+func BenchmarkEngineColdSearch(b *testing.B) {
+	p := benchPlacement(b)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		eng := tessel.NewEngine(tessel.EngineOptions{})
+		if _, _, err := eng.Search(ctx, p, tessel.SearchOptions{N: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCacheHit measures a repeat request with the same N: a
+// fingerprint lookup returning the cached result.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	p := benchPlacement(b)
+	ctx := context.Background()
+	eng := tessel.NewEngine(tessel.EngineOptions{})
+	if _, _, err := eng.Search(ctx, p, tessel.SearchOptions{N: 12}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, info, err := eng.Search(ctx, p, tessel.SearchOptions{N: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.Hit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkEngineCacheHitExtend measures a repeat request with a different
+// N each iteration: the cached repetend is extended (§III-C) instead of
+// re-searched.
+func BenchmarkEngineCacheHitExtend(b *testing.B) {
+	p := benchPlacement(b)
+	ctx := context.Background()
+	eng := tessel.NewEngine(tessel.EngineOptions{})
+	if _, _, err := eng.Search(ctx, p, tessel.SearchOptions{N: 12}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 13 + i%8 // never the cached N=12, so every iteration extends
+		_, info, err := eng.Search(ctx, p, tessel.SearchOptions{N: n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.Hit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}

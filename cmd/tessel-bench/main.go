@@ -7,7 +7,7 @@
 //	tessel-bench -quick       # reduced sweeps (seconds)
 //	tessel-bench -only fig11  # one experiment
 //
-// See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+// EXPERIMENTS.md records a -quick run against the paper's reported numbers.
 package main
 
 import (

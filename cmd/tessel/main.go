@@ -5,22 +5,37 @@
 // Usage:
 //
 //	tessel -shape m-shape -devices 4 -n 12 -memory 8 -inference=false
+//	tessel serve -addr :8080
 //
-// The output reports the searched repetend (size, period, bubble rate),
+// One-shot mode reports the searched repetend (size, period, bubble rate),
 // renders the full schedule as an ASCII Gantt chart, and summarizes search
-// statistics.
+// statistics; Ctrl-C cancels an in-flight search cleanly. The serve
+// subcommand (see serve.go) runs the cache-backed JSON-over-HTTP search
+// service.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tessel"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+	runOneShot()
+}
+
+func runOneShot() {
 	var (
 		shape       = flag.String("shape", "v-shape", "placement shape: v-shape, x-shape, m-shape, k-shape, nn-shape")
 		placeFile   = flag.String("placement", "", "load a custom placement from a JSON file (overrides -shape)")
@@ -78,13 +93,29 @@ func main() {
 	if *inference {
 		p = tessel.InferenceVariant(p)
 	}
-	res, err := tessel.Search(p, tessel.SearchOptions{
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	var gotSig os.Signal
+	go func() {
+		gotSig = <-sigCh
+		cancel()
+	}()
+	res, err := tessel.SearchContext(ctx, p, tessel.SearchOptions{
 		N:             *n,
 		Memory:        *memory,
 		MaxNR:         *maxNR,
 		SolverTimeout: *timeout,
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "search cancelled")
+			if gotSig == syscall.SIGTERM {
+				os.Exit(143)
+			}
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

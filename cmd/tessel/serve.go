@@ -1,0 +1,304 @@
+package main
+
+// The serve subcommand turns the library into a long-running schedule-search
+// service: a JSON-over-HTTP front-end over tessel.Engine, so repeated
+// requests for a placement are answered from the repetend cache via the
+// §III-C schedule generalization instead of re-running the N_R sweep, and
+// concurrent identical requests coalesce into one search.
+//
+//	tessel serve -addr :8080 -cache-size 128 -search-timeout 60s
+//
+//	curl -s localhost:8080/v1/search -d '{
+//	  "placement": {"name":"v-shape","num_devices":2,
+//	    "stages":[{"name":"f0","time":1,"mem":1,"devices":[0]},
+//	              {"name":"f1","time":1,"mem":1,"devices":[1]},
+//	              {"name":"b1","kind":"backward","time":2,"mem":-1,"devices":[1]},
+//	              {"name":"b0","kind":"backward","time":2,"mem":-1,"devices":[0]}],
+//	    "deps":[[1],[2],[3],[]]},
+//	  "options": {"n": 8}
+//	}'
+//
+// Every response carries the placement fingerprint and whether the request
+// hit the cache or shared an in-flight search. GET /v1/stats reports the
+// engine counters; SIGINT/SIGTERM drain in-flight requests gracefully.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tessel"
+)
+
+// maxRequestBytes bounds a /v1/search request body.
+const maxRequestBytes = 1 << 20
+
+// DefaultMaxN is the default cap on a request's micro-batch count. The
+// schedule grows linearly in N (N·K blocks, unrolled and JSON-encoded), so
+// an unbounded N would let one request exhaust server memory.
+const DefaultMaxN = 4096
+
+// searchRequest is the wire form of one search request. The placement uses
+// the same versioned JSON as `tessel -placement` files.
+type searchRequest struct {
+	Placement json.RawMessage      `json:"placement"`
+	Options   searchRequestOptions `json:"options"`
+}
+
+type searchRequestOptions struct {
+	N                int   `json:"n"`
+	Memory           int   `json:"memory"`
+	MaxNR            int   `json:"max_nr"`
+	MaxAssignments   int   `json:"max_assignments"`
+	SolverNodes      int64 `json:"solver_nodes"`
+	SolverTimeoutMS  int64 `json:"solver_timeout_ms"`
+	DisableLazy      bool  `json:"disable_lazy"`
+	SimpleCompaction bool  `json:"simple_compaction"`
+}
+
+type searchResponse struct {
+	Fingerprint string          `json:"fingerprint"`
+	CacheHit    bool            `json:"cache_hit"`
+	Shared      bool            `json:"shared"`
+	N           int             `json:"n"`
+	Makespan    int             `json:"makespan"`
+	LowerBound  int             `json:"lower_bound"`
+	Period      int             `json:"period"`
+	NR          int             `json:"nr"`
+	Assignment  []int           `json:"assignment"`
+	BubbleRate  float64         `json:"bubble_rate"`
+	Stats       searchStatsJSON `json:"stats"`
+	Schedule    json.RawMessage `json:"schedule"`
+}
+
+type searchStatsJSON struct {
+	Assignments int   `json:"assignments"`
+	Solved      int   `json:"solved"`
+	Improved    int   `json:"improved"`
+	EarlyExit   bool  `json:"early_exit"`
+	Truncated   bool  `json:"truncated"`
+	TotalMS     int64 `json:"total_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// server holds the serve subcommand's state: the engine and the per-request
+// search deadline.
+type server struct {
+	engine        *tessel.Engine
+	searchTimeout time.Duration // per-request deadline
+	solverTimeout time.Duration // default per-solve budget
+	maxN          int           // cap on requested micro-batches
+}
+
+// runServe is the entry point of `tessel serve`.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("tessel serve", flag.ExitOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		cacheSize     = fs.Int("cache-size", tessel.DefaultEngineCacheSize, "repetend cache capacity (searched placements)")
+		searchTimeout = fs.Duration("search-timeout", 60*time.Second, "per-request search deadline")
+		solverTimeout = fs.Duration("solver-timeout", 10*time.Second, "default per-solve budget when the request sets none")
+		maxN          = fs.Int("max-n", DefaultMaxN, "largest micro-batch count a request may ask for")
+		maxSearches   = fs.Int("max-concurrent-searches", 2, "cold searches running at once (each saturates the CPU; 0 = unlimited)")
+	)
+	fs.Parse(args)
+
+	s := &server{
+		engine: tessel.NewEngine(tessel.EngineOptions{
+			CacheSize:             *cacheSize,
+			MaxConcurrentSearches: *maxSearches,
+		}),
+		searchTimeout: *searchTimeout,
+		solverTimeout: *solverTimeout,
+		maxN:          *maxN,
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.mux(),
+		// Transport-level bounds against stalled clients; handler time is
+		// bounded separately by -search-timeout, so no WriteTimeout (it
+		// would cut off slow searches mid-response).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("tessel serve: listening on %s (cache %d, search timeout %s)", *addr, *cacheSize, *searchTimeout)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("tessel serve: shutting down")
+		// Give drains the full search deadline plus a grace period, so an
+		// in-flight search always gets to finish (or 504) before the
+		// process exits. With no search deadline (-search-timeout 0) the
+		// drain budget is 5 minutes.
+		drain := 5 * time.Minute
+		if s.searchTimeout > 0 {
+			drain = s.searchTimeout + 5*time.Second
+			if drain < 15*time.Second {
+				drain = 15 * time.Second
+			}
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("tessel serve: shutdown: %v", err)
+		}
+		<-errCh
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("tessel serve: %v", err)
+		}
+	}
+}
+
+// mux builds the HTTP routes. Factored out of runServe so tests can drive
+// the handler through httptest without a listener.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", s.handleSearch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req searchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	if len(req.Placement) == 0 {
+		writeError(w, http.StatusBadRequest, "request needs a placement")
+		return
+	}
+	p, err := tessel.DecodePlacement(bytes.NewReader(req.Placement))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Options.N > s.maxN {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("n %d exceeds the server cap %d", req.Options.N, s.maxN))
+		return
+	}
+	opts := tessel.SearchOptions{
+		N:                req.Options.N,
+		Memory:           req.Options.Memory,
+		MaxNR:            req.Options.MaxNR,
+		MaxAssignments:   req.Options.MaxAssignments,
+		SolverNodes:      req.Options.SolverNodes,
+		SolverTimeout:    s.solverTimeout,
+		DisableLazy:      req.Options.DisableLazy,
+		SimpleCompaction: req.Options.SimpleCompaction,
+	}
+	if req.Options.SolverTimeoutMS > 0 {
+		opts.SolverTimeout = time.Duration(req.Options.SolverTimeoutMS) * time.Millisecond
+	}
+
+	ctx := r.Context()
+	if s.searchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
+		defer cancel()
+	}
+	res, info, err := s.engine.Search(ctx, p, opts)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "search deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write.
+			writeError(w, http.StatusServiceUnavailable, "search cancelled")
+		case errors.Is(err, tessel.ErrSearchPanic):
+			// Server bug: log the details, return a generic 500.
+			log.Printf("tessel serve: %v", err)
+			writeError(w, http.StatusInternalServerError, "internal search failure")
+		default:
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+		}
+		return
+	}
+
+	var schedBuf bytes.Buffer
+	if err := tessel.EncodeSchedule(&schedBuf, res.Full); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := searchResponse{
+		Fingerprint: info.Fingerprint,
+		CacheHit:    info.Hit,
+		Shared:      info.Shared,
+		N:           res.N,
+		Makespan:    res.Makespan,
+		LowerBound:  res.LowerBound,
+		Period:      res.Repetend.Period,
+		NR:          res.Repetend.NR,
+		Assignment:  []int(res.Repetend.Assign),
+		BubbleRate:  res.BubbleRate,
+		Stats: searchStatsJSON{
+			Assignments: res.Stats.Assignments,
+			Solved:      res.Stats.Solved,
+			Improved:    res.Stats.Improved,
+			EarlyExit:   res.Stats.EarlyExit,
+			Truncated:   res.Stats.Truncated,
+			TotalMS:     res.Stats.Total.Milliseconds(),
+		},
+		Schedule: schedBuf.Bytes(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.engine.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hits":      st.Hits,
+		"misses":    st.Misses,
+		"shared":    st.Shared,
+		"evictions": st.Evictions,
+		"entries":   st.Entries,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("tessel serve: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tessel"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	return &server{
+		engine:        tessel.NewEngine(tessel.EngineOptions{}),
+		searchTimeout: 30 * time.Second,
+		solverTimeout: 5 * time.Second,
+		maxN:          DefaultMaxN,
+	}
+}
+
+func placementJSON(t *testing.T) []byte {
+	t.Helper()
+	p, err := tessel.NewVShape(tessel.ShapeConfig{Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tessel.EncodePlacement(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postSearch(t *testing.T, s *server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/search", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.mux().ServeHTTP(w, req)
+	return w
+}
+
+// TestServeSearchEndToEnd drives the handler twice with the same placement
+// and checks the second response is flagged as a cache hit and agrees with
+// the first on the makespan.
+func TestServeSearchEndToEnd(t *testing.T) {
+	s := newTestServer(t)
+	body, err := json.Marshal(map[string]any{
+		"placement": json.RawMessage(placementJSON(t)),
+		"options":   map[string]any{"n": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first, second searchResponse
+	w := postSearch(t, s, string(body))
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	if first.N != 8 || first.Makespan <= 0 || first.Fingerprint == "" {
+		t.Fatalf("first response: %+v", first)
+	}
+	// The embedded schedule must round-trip through the decoder.
+	sched, err := tessel.DecodeSchedule(bytes.NewReader(first.Schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Makespan() != first.Makespan {
+		t.Fatalf("schedule makespan %d != reported %d", sched.Makespan(), first.Makespan)
+	}
+
+	w = postSearch(t, s, string(body))
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second request missed the cache")
+	}
+	if second.Makespan != first.Makespan || second.Fingerprint != first.Fingerprint {
+		t.Fatalf("cache hit disagrees: %+v vs %+v", second, first)
+	}
+
+	// Stats endpoint reflects the hit.
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, req)
+	var st map[string]float64
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["misses"] != 1 || st["hits"] != 1 {
+		t.Fatalf("stats: %v", st)
+	}
+}
+
+// TestServeBadRequests covers the error paths: wrong method, bad JSON,
+// missing placement, invalid placement.
+func TestServeBadRequests(t *testing.T) {
+	s := newTestServer(t)
+
+	req := httptest.NewRequest("GET", "/v1/search", nil)
+	w := httptest.NewRecorder()
+	s.mux().ServeHTTP(w, req)
+	if w.Code != 405 {
+		t.Fatalf("GET status %d", w.Code)
+	}
+
+	if w := postSearch(t, s, "{not json"); w.Code != 400 {
+		t.Fatalf("bad JSON status %d", w.Code)
+	}
+	if w := postSearch(t, s, `{"options":{"n":4}}`); w.Code != 400 {
+		t.Fatalf("missing placement status %d", w.Code)
+	}
+	// Structurally invalid placement: stage with no devices.
+	bad := `{"placement":{"name":"x","num_devices":1,"stages":[{"name":"a","time":1,"devices":[]}],"deps":[[]]}}`
+	if w := postSearch(t, s, bad); w.Code != 400 {
+		t.Fatalf("invalid placement status %d", w.Code)
+	}
+}
+
+// TestServeNegativeN: a negative micro-batch count is a clean 422, not a
+// handler panic, and the same placement stays searchable.
+func TestServeNegativeN(t *testing.T) {
+	s := newTestServer(t)
+	body, err := json.Marshal(map[string]any{
+		"placement": json.RawMessage(placementJSON(t)),
+		"options":   map[string]any{"n": -5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := postSearch(t, s, string(body)); w.Code != 422 {
+		t.Fatalf("negative n status %d: %s", w.Code, w.Body.String())
+	}
+	good, _ := json.Marshal(map[string]any{
+		"placement": json.RawMessage(placementJSON(t)),
+		"options":   map[string]any{"n": 4},
+	})
+	if w := postSearch(t, s, string(good)); w.Code != 200 {
+		t.Fatalf("placement unusable after bad request: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestServeMaxNCap: a micro-batch count above the server cap is rejected
+// before any search or unroll work happens.
+func TestServeMaxNCap(t *testing.T) {
+	s := newTestServer(t)
+	body, _ := json.Marshal(map[string]any{
+		"placement": json.RawMessage(placementJSON(t)),
+		"options":   map[string]any{"n": 2000000000},
+	})
+	w := postSearch(t, s, string(body))
+	if w.Code != 400 {
+		t.Fatalf("oversized n status %d: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "exceeds the server cap") {
+		t.Fatalf("error does not name the cap: %s", w.Body.String())
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,7 +67,7 @@ func main() {
 			log.Fatal(err)
 		}
 		row += fmt.Sprintf(" %-26s", measure(s1))
-		res, err := core.Search(kshape, core.Options{N: n})
+		res, err := core.Search(context.Background(), kshape, core.Options{N: n})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 	avail := cost.DeviceMemMB - model.MShapeResidentMB(cfg, cost)
 	fmt.Printf("M-shape per-device work %d µs/micro-batch; activation budget %d MB\n\n",
 		mshape.LowerBound(), avail)
-	res, err := core.Search(mshape, core.Options{N: micros, Memory: avail})
+	res, err := core.Search(context.Background(), mshape, core.Options{N: micros, Memory: avail})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	}
 	avail := cost.DeviceMemMB*2 - model.MShapeResidentMB(cfg, cost)
 	micros := 128 / cost.MicroBatch
-	res, err := core.Search(nn, core.Options{N: micros, Memory: avail})
+	res, err := core.Search(context.Background(), nn, core.Options{N: micros, Memory: avail})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module tessel
+
+go 1.24

@@ -3,9 +3,18 @@
 // the lazy-search optimization of §V, schedule completion with time-optimal
 // warmup and cooldown phases (§IV-C), and the extension of the repetend to
 // any number of micro-batches.
+//
+// All entry points take a context.Context and honor it end-to-end: the
+// assignment producer, every concurrent repetend-solver worker, and the
+// completion solves all poll the same context, so cancelling it (or hitting
+// its deadline) stops the whole sweep promptly and Search returns ctx's
+// error. The per-solve budgets (SolverNodes, SolverTimeout) remain soft:
+// exhausting one degrades that solve to its incumbent and the search
+// continues.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -47,7 +56,10 @@ type Options struct {
 	MaxAssignments int
 	// SolverNodes bounds each exact solve (0 = DefaultSolverNodes).
 	SolverNodes int64
-	// SolverTimeout bounds each exact solve in wall time (0 = none).
+	// SolverTimeout bounds each exact solve in wall time (0 = none). It is a
+	// soft per-solve budget: exhausting it keeps that solve's incumbent and
+	// lets the search continue. Hard cancellation of the whole search is the
+	// job of the context passed to Search.
 	SolverTimeout time.Duration
 	// DisableLazy turns off the lazy-search optimization (§V): warmup and
 	// cooldown are then solved time-optimally for every improving repetend
@@ -155,10 +167,20 @@ func MaxInflight(p *sched.Placement, memory int) int {
 // Search runs Algorithm 1 for placement p: it sweeps repetend sizes and
 // index assignments, keeps the repetend with the smallest steady-state
 // period, completes warmup and cooldown phases, and extends the schedule to
-// opts.N micro-batches.
-func Search(p *sched.Placement, opts Options) (*Result, error) {
+// opts.N micro-batches. Cancelling ctx stops every in-flight solver worker
+// promptly and returns ctx's error.
+func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.N < 0 {
+		return nil, fmt.Errorf("core: micro-batch count must be non-negative, got %d", opts.N)
 	}
 	opts = opts.withDefaults()
 	t0 := time.Now()
@@ -183,8 +205,11 @@ func Search(p *sched.Placement, opts Options) (*Result, error) {
 	for nr := 1; nr <= maxNR; nr++ {
 		res.Stats.NRSwept = nr
 		var err error
-		best, err = sweepNR(p, nr, best, repOpts, opts, res)
+		best, err = sweepNR(ctx, p, nr, best, repOpts, opts, res)
 		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if res.Stats.EarlyExit {
@@ -202,7 +227,7 @@ func Search(p *sched.Placement, opts Options) (*Result, error) {
 		n = 3 * best.NR
 	}
 	res.N = n
-	if err := completeSchedule(res, best, n, opts); err != nil {
+	if err := completeSchedule(ctx, res, best, n, opts); err != nil {
 		return nil, err
 	}
 	res.Makespan = res.Full.Makespan()
@@ -215,7 +240,9 @@ func Search(p *sched.Placement, opts Options) (*Result, error) {
 // best repetend seen so far and sets Stats.EarlyExit when the device-work
 // lower bound is reached (Algorithm 1 lines 19–20). checkCompletion runs
 // serialized on the collector side, so phase timing stays consistent.
-func sweepNR(p *sched.Placement, nr int, best *repetend.Repetend, repOpts repetend.SolveOptions, opts Options, res *Result) (*repetend.Repetend, error) {
+// Cancelling ctx stops the producer and every worker: in-flight solves abort
+// at their next context poll and sweepNR returns ctx's error.
+func sweepNR(ctx context.Context, p *sched.Placement, nr int, best *repetend.Repetend, repOpts repetend.SolveOptions, opts Options, res *Result) (*repetend.Repetend, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -247,8 +274,12 @@ func sweepNR(p *sched.Placement, nr int, best *repetend.Repetend, repOpts repete
 				truncated = true
 				return false
 			}
-			assignCh <- a
-			return true
+			select {
+			case assignCh <- a:
+				return true
+			case <-ctx.Done():
+				return false
+			}
 		})
 		if err != nil {
 			// Placement was validated by Search; enumeration errors cannot
@@ -261,14 +292,14 @@ func sweepNR(p *sched.Placement, nr int, best *repetend.Repetend, repOpts repete
 		go func() {
 			defer wg.Done()
 			for a := range assignCh {
-				if stop.Load() {
+				if stop.Load() || ctx.Err() != nil {
 					continue // drain
 				}
 				t0 := time.Now()
-				r, err := repetend.Solve(p, a, repOpts)
+				r, err := repetend.Solve(ctx, p, a, repOpts)
 				repNanos.Add(int64(time.Since(t0)))
 				if err != nil {
-					continue // infeasible assignment
+					continue // infeasible assignment (or cancelled)
 				}
 				solved.Add(1)
 				resultCh <- r
@@ -284,7 +315,7 @@ func sweepNR(p *sched.Placement, nr int, best *repetend.Repetend, repOpts repete
 		if firstErr != nil || (best != nil && r.Period >= best.Period) {
 			continue
 		}
-		ok, err := checkCompletion(p, r, opts, &res.Stats)
+		ok, err := checkCompletion(ctx, p, r, opts, &res.Stats)
 		if err != nil {
 			firstErr = err
 			stop.Store(true)
@@ -305,6 +336,9 @@ func sweepNR(p *sched.Placement, nr int, best *repetend.Repetend, repOpts repete
 	if truncated {
 		res.Stats.Truncated = true
 	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return best, firstErr
 }
 
@@ -314,7 +348,10 @@ func sweepNR(p *sched.Placement, nr int, best *repetend.Repetend, repOpts repete
 // possible to extend the repetend schedule to accommodate any number of
 // micro-batches"). Memory and solver budgets come from opts, which should
 // normally match the original search.
-func Extend(res *Result, n int, opts Options) (*Result, error) {
+func Extend(ctx context.Context, res *Result, n int, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if res == nil || res.Repetend == nil {
 		return nil, fmt.Errorf("core: Extend needs a completed search result")
 	}
@@ -329,7 +366,7 @@ func Extend(res *Result, n int, opts Options) (*Result, error) {
 		BubbleRate: res.BubbleRate,
 		N:          n,
 	}
-	if err := completeSchedule(out, res.Repetend, n, opts); err != nil {
+	if err := completeSchedule(ctx, out, res.Repetend, n, opts); err != nil {
 		return nil, err
 	}
 	out.Makespan = out.Full.Makespan()
@@ -363,7 +400,7 @@ func cooldownBlocks(p *sched.Placement, a repetend.Assignment, reps, n int) []sc
 // it only asks the solver whether valid warmup and cooldown schedules exist
 // (satisfiability); otherwise it solves them time-optimally — the two modes
 // of §V.
-func checkCompletion(p *sched.Placement, r *repetend.Repetend, opts Options, stats *Stats) (bool, error) {
+func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repetend, opts Options, stats *Stats) (bool, error) {
 	warm := warmupBlocks(p, r.Assign)
 	cool := cooldownBlocks(p, r.Assign, 1, r.NR)
 	solveOpts := solver.Options{
@@ -374,7 +411,7 @@ func checkCompletion(p *sched.Placement, r *repetend.Repetend, opts Options, sta
 		SatisfyOnly: !opts.DisableLazy,
 	}
 	t0 := time.Now()
-	warmOK, err := phaseFeasible(p, warm, nil, nil, solveOpts)
+	warmOK, err := phaseFeasible(ctx, p, warm, nil, nil, solveOpts)
 	stats.Phase.Warmup += time.Since(t0)
 	if err != nil || !warmOK {
 		return false, err
@@ -387,7 +424,7 @@ func checkCompletion(p *sched.Placement, r *repetend.Repetend, opts Options, sta
 		}
 	}
 	t1 := time.Now()
-	coolOK, err := phaseFeasible(p, cool, initMem, nil, solveOpts)
+	coolOK, err := phaseFeasible(ctx, p, cool, initMem, nil, solveOpts)
 	stats.Phase.Cooldown += time.Since(t1)
 	if err != nil || !coolOK {
 		return false, err
@@ -395,7 +432,7 @@ func checkCompletion(p *sched.Placement, r *repetend.Repetend, opts Options, sta
 	return true, nil
 }
 
-func phaseFeasible(p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options) (bool, error) {
+func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options) (bool, error) {
 	if len(blocks) == 0 {
 		return true, nil
 	}
@@ -405,7 +442,7 @@ func phaseFeasible(p *sched.Placement, blocks []sched.Block, initMem, deviceRead
 	}
 	opts.InitialMem = initMem
 	opts.DeviceReady = deviceReady
-	res, err := solver.Solve(tasks, opts)
+	res, err := solver.Solve(ctx, tasks, opts)
 	if err != nil {
 		return false, err
 	}
@@ -415,17 +452,17 @@ func phaseFeasible(p *sched.Placement, blocks []sched.Block, initMem, deviceRead
 // complete builds the final N-micro-batch schedule around the repetend:
 // time-optimal warmup, R = N − N_R + 1 unrolled instances compacted against
 // the warmup, and a time-optimal cooldown released by repetend finishes.
-func completeSchedule(res *Result, r *repetend.Repetend, n int, opts Options) error {
+func completeSchedule(ctx context.Context, res *Result, r *repetend.Repetend, n int, opts Options) error {
 	p := res.Placement
 	if n < r.NR {
-		return completeDirect(res, n, opts)
+		return completeDirect(ctx, res, n, opts)
 	}
 	reps := n - r.NR + 1
 
 	// Warmup: time-optimal solve from t=0.
 	warmStart := time.Now()
 	warm := warmupBlocks(p, r.Assign)
-	warmSched, warmFinish, err := solvePhase(p, warm, nil, nil, nil, opts)
+	warmSched, warmFinish, err := solvePhase(ctx, p, warm, nil, nil, nil, opts)
 	res.Stats.Phase.Warmup += time.Since(warmStart)
 	if err != nil {
 		return fmt.Errorf("warmup: %w", err)
@@ -521,7 +558,7 @@ func completeSchedule(res *Result, r *repetend.Repetend, n int, opts Options) er
 			initMem[d] += (r.Assign[i] + reps) * p.Stages[i].Mem
 		}
 	}
-	coolSched, _, err := solvePhase(p, cool, releases, initMem, deviceReady, opts)
+	coolSched, _, err := solvePhase(ctx, p, cool, releases, initMem, deviceReady, opts)
 	res.Stats.Phase.Cooldown += time.Since(coolStart)
 	if err != nil {
 		return fmt.Errorf("cooldown: %w", err)
@@ -539,8 +576,8 @@ func completeSchedule(res *Result, r *repetend.Repetend, n int, opts Options) er
 }
 
 // completeDirect handles N < N_R with a whole-problem time-optimal solve.
-func completeDirect(res *Result, n int, opts Options) error {
-	full, _, err := TimeOptimal(res.Placement, n, opts)
+func completeDirect(ctx context.Context, res *Result, n int, opts Options) error {
+	full, _, err := TimeOptimal(ctx, res.Placement, n, opts)
 	if err != nil {
 		return err
 	}
@@ -553,7 +590,7 @@ func completeDirect(res *Result, n int, opts Options) error {
 
 // solvePhase runs a time-optimal solve of the given blocks and returns the
 // schedule plus a finish-time index.
-func solvePhase(p *sched.Placement, blocks []sched.Block, releases map[sched.Block]int, initMem, deviceReady []int, opts Options) (*sched.Schedule, map[sched.Block]int, error) {
+func solvePhase(ctx context.Context, p *sched.Placement, blocks []sched.Block, releases map[sched.Block]int, initMem, deviceReady []int, opts Options) (*sched.Schedule, map[sched.Block]int, error) {
 	if len(blocks) == 0 {
 		return sched.NewSchedule(p), map[sched.Block]int{}, nil
 	}
@@ -561,7 +598,7 @@ func solvePhase(p *sched.Placement, blocks []sched.Block, releases map[sched.Blo
 	if err != nil {
 		return nil, nil, err
 	}
-	sres, err := solver.Solve(tasks, solver.Options{
+	sres, err := solver.Solve(ctx, tasks, solver.Options{
 		NumDevices:  p.NumDevices,
 		Memory:      opts.Memory,
 		InitialMem:  initMem,
@@ -588,13 +625,20 @@ func solvePhase(p *sched.Placement, blocks []sched.Block, releases map[sched.Blo
 
 // TimeOptimal solves the whole N-micro-batch problem exactly — the "TO"
 // baseline of §III-B (Figure 3) and the search-cost comparison of Figure 9.
-func TimeOptimal(p *sched.Placement, n int, opts Options) (*sched.Schedule, solver.Result, error) {
+// Cancelling ctx aborts the solve and returns ctx's error.
+func TimeOptimal(ctx context.Context, p *sched.Placement, n int, opts Options) (*sched.Schedule, solver.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n < 0 {
+		return nil, solver.Result{}, fmt.Errorf("core: micro-batch count must be non-negative, got %d", n)
+	}
 	opts = opts.withDefaults()
 	tasks, err := solver.BuildTasks(p, solver.AllBlocks(p, n), nil)
 	if err != nil {
 		return nil, solver.Result{}, err
 	}
-	res, err := solver.Solve(tasks, solver.Options{
+	res, err := solver.Solve(ctx, tasks, solver.Options{
 		NumDevices: p.NumDevices,
 		Memory:     opts.Memory,
 		MaxNodes:   opts.SolverNodes,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -50,7 +51,7 @@ func checkFull(t *testing.T, res *Result, memory int) {
 
 func TestSearchVShapeReachesLowerBound(t *testing.T) {
 	p := shape(t, "v-shape", 4)
-	res, err := Search(p, Options{N: 8})
+	res, err := Search(context.Background(), p, Options{N: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSearchVShapeReachesLowerBound(t *testing.T) {
 
 func TestSearchKShapeReachesLowerBound(t *testing.T) {
 	p := shape(t, "k-shape", 4)
-	res, err := Search(p, Options{N: 8})
+	res, err := Search(context.Background(), p, Options{N: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestSearchMShapeReachesLowerBound(t *testing.T) {
 		t.Skip("m-shape sweep is slow in -short mode")
 	}
 	p := shape(t, "m-shape", 4)
-	res, err := Search(p, Options{N: 10})
+	res, err := Search(context.Background(), p, Options{N: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestSearchMShapeReachesLowerBound(t *testing.T) {
 func TestSearchMemoryCapRespected(t *testing.T) {
 	p := shape(t, "v-shape", 4)
 	for _, mem := range []int{1, 2, 3} {
-		res, err := Search(p, Options{N: 6, Memory: mem})
+		res, err := Search(context.Background(), p, Options{N: 6, Memory: mem})
 		if err != nil {
 			t.Fatalf("memory %d: %v", mem, err)
 		}
@@ -119,7 +120,7 @@ func TestSearchBubbleMonotoneInMemory(t *testing.T) {
 	p := shape(t, "v-shape", 4)
 	prev := 2.0
 	for _, mem := range []int{1, 2, 4} {
-		res, err := Search(p, Options{N: 6, Memory: mem})
+		res, err := Search(context.Background(), p, Options{N: 6, Memory: mem})
 		if err != nil {
 			t.Fatalf("memory %d: %v", mem, err)
 		}
@@ -135,7 +136,7 @@ func TestSearchBubbleMonotoneInNR(t *testing.T) {
 	p := shape(t, "v-shape", 4)
 	prev := 2.0
 	for nr := 1; nr <= 4; nr++ {
-		res, err := Search(p, Options{N: 6, MaxNR: nr})
+		res, err := Search(context.Background(), p, Options{N: 6, MaxNR: nr})
 		if err != nil {
 			t.Fatalf("nr %d: %v", nr, err)
 		}
@@ -150,11 +151,11 @@ func TestSearchLazyMatchesEager(t *testing.T) {
 	// §V: lazy search "significantly reduces the overall search time
 	// without changing the searched results".
 	p := shape(t, "v-shape", 4)
-	lazy, err := Search(p, Options{N: 6})
+	lazy, err := Search(context.Background(), p, Options{N: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eager, err := Search(p, Options{N: 6, DisableLazy: true})
+	eager, err := Search(context.Background(), p, Options{N: 6, DisableLazy: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestSearchLazyMatchesEager(t *testing.T) {
 
 func TestSearchSimpleCompactionNeverBetter(t *testing.T) {
 	p := shape(t, "v-shape", 4)
-	tight, err := Search(p, Options{N: 6})
+	tight, err := Search(context.Background(), p, Options{N: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	simple, err := Search(p, Options{N: 6, SimpleCompaction: true})
+	simple, err := Search(context.Background(), p, Options{N: 6, SimpleCompaction: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestSearchSimpleCompactionNeverBetter(t *testing.T) {
 
 func TestSearchInferencePlacement(t *testing.T) {
 	p := placement.Inference(shape(t, "k-shape", 4))
-	res, err := Search(p, Options{N: 8})
+	res, err := Search(context.Background(), p, Options{N: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestSearchInferencePlacement(t *testing.T) {
 
 func TestSearchSmallNFallsBackToTimeOptimal(t *testing.T) {
 	p := shape(t, "v-shape", 4)
-	res, err := Search(p, Options{N: 2})
+	res, err := Search(context.Background(), p, Options{N: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestSearchSmallNFallsBackToTimeOptimal(t *testing.T) {
 
 func TestSearchDefaultN(t *testing.T) {
 	p := shape(t, "v-shape", 4)
-	res, err := Search(p, Options{})
+	res, err := Search(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestSearchDefaultN(t *testing.T) {
 func TestSearchRejectsInvalidPlacement(t *testing.T) {
 	p := shape(t, "v-shape", 4)
 	p.Stages[0].Time = 0
-	if _, err := Search(p, Options{}); err == nil {
+	if _, err := Search(context.Background(), p, Options{}); err == nil {
 		t.Fatal("invalid placement accepted")
 	}
 }
@@ -242,7 +243,7 @@ func TestMaxInflight(t *testing.T) {
 
 func TestTimeOptimalMatchesKnownOptimum(t *testing.T) {
 	p := shape(t, "v-shape", 4)
-	s, res, err := TimeOptimal(p, 2, Options{})
+	s, res, err := TimeOptimal(context.Background(), p, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestTimeOptimalMatchesKnownOptimum(t *testing.T) {
 
 func TestStatsPopulated(t *testing.T) {
 	p := shape(t, "v-shape", 4)
-	res, err := Search(p, Options{N: 6})
+	res, err := Search(context.Background(), p, Options{N: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestSearchPropertyFullAlwaysValid(t *testing.T) {
 		p := shape(t, names[rng.Intn(len(names))], 4)
 		mem := 2 + rng.Intn(6)
 		n := 1 + rng.Intn(10)
-		res, err := Search(p, Options{N: n, Memory: mem, MaxNR: 4})
+		res, err := Search(context.Background(), p, Options{N: n, Memory: mem, MaxNR: 4})
 		if err != nil {
 			// Memory can be too tight for any repetend; that is a valid
 			// outcome, not a bug.
@@ -309,7 +310,7 @@ func TestSearchPropertyFullAlwaysValid(t *testing.T) {
 
 func TestSearchAssignmentBudgetTruncates(t *testing.T) {
 	p := shape(t, "v-shape", 4)
-	res, err := Search(p, Options{N: 6, MaxAssignments: 3, MaxNR: 3})
+	res, err := Search(context.Background(), p, Options{N: 6, MaxAssignments: 3, MaxNR: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,12 +322,12 @@ func TestSearchAssignmentBudgetTruncates(t *testing.T) {
 
 func TestExtendToLargerN(t *testing.T) {
 	p := shape(t, "v-shape", 4)
-	res, err := Search(p, Options{N: 6, Memory: 4})
+	res, err := Search(context.Background(), p, Options{N: 6, Memory: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range []int{4, 6, 10, 20, 40} {
-		ext, err := Extend(res, n, Options{Memory: 4})
+		ext, err := Extend(context.Background(), res, n, Options{Memory: 4})
 		if err != nil {
 			t.Fatalf("extend to %d: %v", n, err)
 		}
@@ -341,15 +342,15 @@ func TestExtendMakespanGrowsByPeriod(t *testing.T) {
 	// §III-C: adding one micro-batch in the steady state adds exactly one
 	// repetend period to the makespan.
 	p := shape(t, "v-shape", 4)
-	res, err := Search(p, Options{N: 8})
+	res, err := Search(context.Background(), p, Options{N: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Extend(res, 20, Options{})
+	a, err := Extend(context.Background(), res, 20, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Extend(res, 21, Options{})
+	b, err := Extend(context.Background(), res, 21, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,15 +360,15 @@ func TestExtendMakespanGrowsByPeriod(t *testing.T) {
 }
 
 func TestExtendErrors(t *testing.T) {
-	if _, err := Extend(nil, 5, Options{}); err == nil {
+	if _, err := Extend(context.Background(), nil, 5, Options{}); err == nil {
 		t.Fatal("nil result accepted")
 	}
 	p := shape(t, "v-shape", 4)
-	res, err := Search(p, Options{N: 6})
+	res, err := Search(context.Background(), p, Options{N: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Extend(res, 0, Options{}); err == nil {
+	if _, err := Extend(context.Background(), res, 0, Options{}); err == nil {
 		t.Fatal("n=0 accepted")
 	}
 }

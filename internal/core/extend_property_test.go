@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"tessel/internal/placement"
+	"tessel/internal/sched"
+)
+
+// TestExtendMatchesFreshSearch is the property the serving engine's cache
+// depends on (§III-C schedule generalization): extending a searched
+// repetend to N micro-batches must produce the same makespan as running a
+// fresh search asked for N directly. Workers=1 keeps both searches
+// deterministic so the comparison is exact.
+func TestExtendMatchesFreshSearch(t *testing.T) {
+	ctx := context.Background()
+	builders := map[string]func(placement.Config) (*sched.Placement, error){
+		"v-shape": placement.VShape,
+		"m-shape": placement.MShape,
+		"k-shape": placement.KShape,
+	}
+	for name, build := range builders {
+		p, err := build(placement.Config{Devices: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Workers: 1}
+		base, err := Search(ctx, p, opts)
+		if err != nil {
+			t.Fatalf("%s: base search: %v", name, err)
+		}
+		for _, n := range []int{5, 9, 14} {
+			freshOpts := opts
+			freshOpts.N = n
+			fresh, err := Search(ctx, p, freshOpts)
+			if err != nil {
+				t.Fatalf("%s N=%d: fresh search: %v", name, n, err)
+			}
+			ext, err := Extend(ctx, base, n, opts)
+			if err != nil {
+				t.Fatalf("%s N=%d: extend: %v", name, n, err)
+			}
+			if ext.Makespan != fresh.Makespan {
+				t.Errorf("%s N=%d: extended makespan %d != fresh %d", name, n, ext.Makespan, fresh.Makespan)
+			}
+			if ext.Full.Len() != n*p.K() {
+				t.Errorf("%s N=%d: extended schedule has %d blocks, want %d", name, n, ext.Full.Len(), n*p.K())
+			}
+			if err := ext.Full.Validate(sched.ValidateOptions{Memory: sched.Unbounded}); err != nil {
+				t.Errorf("%s N=%d: extended schedule invalid: %v", name, n, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package engine provides the serving front-end of Tessel's schedule
+// search: a concurrency-safe Engine that canonicalizes placements into
+// stable fingerprints (sched.Fingerprint), keeps an LRU cache of searched
+// repetends, serves repeat requests for any micro-batch count via
+// core.Extend without re-running the repetend sweep (the §III-C schedule
+// generalization), and coalesces concurrent identical requests so a burst
+// of equal queries costs one search.
+//
+// The cache key is the placement fingerprint combined with every search
+// option that can change which repetend is found (memory capacity, sweep
+// and solver budgets, the ablation toggles). The micro-batch count N is
+// deliberately *not* part of the key: a cached repetend extends to any N,
+// which is what makes repeated searches O(1) in the sweep cost.
+//
+// Results returned by the engine are shared between callers and must be
+// treated as immutable.
+//
+// Only successful searches are cached. Failures are deliberately not:
+// with per-solve wall-clock budgets a failure can be timing-dependent, and
+// pinning one in the cache would turn a transient miss into a permanent
+// error. Sequential retries of an infeasible request therefore re-pay the
+// sweep (bounded by the caller's deadline and MaxConcurrentSearches).
+package engine
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tessel/internal/core"
+	"tessel/internal/sched"
+)
+
+// DefaultCacheSize is the repetend-cache capacity when Options.CacheSize
+// is zero.
+const DefaultCacheSize = 128
+
+// ErrSearchPanic marks a search that failed with a recovered panic — a
+// server bug, not a bad request. Callers exposing the engine over a
+// protocol should map it to an internal-error status, not a client error.
+var ErrSearchPanic = errors.New("engine: search panicked")
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize caps the number of cached search results (≤0 uses
+	// DefaultCacheSize).
+	CacheSize int
+	// MaxConcurrentSearches caps cold searches running at once (≤0 =
+	// unlimited). Each cold search fans out its own solver workers, so a
+	// serving deployment should bound them; cache hits and coalesced
+	// followers are never throttled.
+	MaxConcurrentSearches int
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Hits counts requests served from the cache (no repetend sweep).
+	Hits uint64
+	// Misses counts requests that ran a full search.
+	Misses uint64
+	// Shared counts requests coalesced onto a concurrent identical search.
+	Shared uint64
+	// Evictions counts cache entries displaced by the LRU policy.
+	Evictions uint64
+	// Entries is the current number of cached results.
+	Entries int
+}
+
+// CacheInfo reports how one Engine.Search call was served.
+type CacheInfo struct {
+	// Fingerprint is the canonical SHA-256 fingerprint of the placement.
+	Fingerprint string
+	// Hit is true when the repetend came from the cache.
+	Hit bool
+	// Shared is true when the call coalesced onto a concurrent search.
+	Shared bool
+}
+
+// Engine is a cache-backed, deduplicating front-end over core.Search. The
+// zero value is not usable; construct with New.
+type Engine struct {
+	cap int
+	sem chan struct{} // nil = unlimited cold searches
+
+	mu        sync.Mutex
+	entries   map[string]*list.Element // values are *cacheEntry
+	lru       *list.List               // front = most recently used
+	flight    map[string]*flightCall
+	hits      uint64
+	misses    uint64
+	shared    uint64
+	evictions uint64
+}
+
+// cacheEntry is the value stored in the LRU list.
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// flightCall is one in-flight search other callers can wait on.
+type flightCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// New builds an Engine with the given options.
+func New(opts Options) *Engine {
+	size := opts.CacheSize
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	e := &Engine{
+		cap:     size,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flight:  make(map[string]*flightCall),
+	}
+	if opts.MaxConcurrentSearches > 0 {
+		e.sem = make(chan struct{}, opts.MaxConcurrentSearches)
+	}
+	return e
+}
+
+// Search serves one search request. A request whose placement and
+// search-relevant options match a cached result is answered via core.Extend
+// (or directly, when the micro-batch count also matches) without invoking
+// the repetend solver; a request equal to one currently being searched
+// waits for that search instead of duplicating it. Cancelling ctx aborts
+// the caller's own work promptly — including the wait on a coalesced
+// search — and returns ctx's error.
+func (e *Engine) Search(ctx context.Context, p *sched.Placement, opts core.Options) (*core.Result, CacheInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	info := CacheInfo{}
+	if err := p.Validate(); err != nil {
+		return nil, info, err
+	}
+	if opts.N < 0 {
+		// Reject before touching the cache or flight maps: N is not part of
+		// the request key, so letting an invalid N become the singleflight
+		// leader would hand its error to concurrent valid requests.
+		return nil, info, fmt.Errorf("engine: micro-batch count must be non-negative, got %d", opts.N)
+	}
+	info.Fingerprint = sched.Fingerprint(p)
+	key := requestKey(info.Fingerprint, p, opts)
+
+	for {
+		e.mu.Lock()
+		if el, ok := e.entries[key]; ok {
+			e.lru.MoveToFront(el)
+			cached := el.Value.(*cacheEntry).res
+			e.mu.Unlock()
+			out, err := extendTo(ctx, cached, opts)
+			if err != nil {
+				return nil, info, err
+			}
+			// Counted only on success so Stats.Hits means "served from
+			// cache", not "found in cache but the extension failed".
+			e.mu.Lock()
+			e.hits++
+			e.mu.Unlock()
+			info.Hit = true
+			return out, info, nil
+		}
+		if fc, ok := e.flight[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-fc.done:
+			case <-ctx.Done():
+				return nil, info, ctx.Err()
+			}
+			if fc.err != nil {
+				if isContextErr(fc.err) && ctx.Err() == nil {
+					// The leader was cancelled but this caller was not:
+					// retry, becoming the leader if the slot is still free.
+					continue
+				}
+				return nil, info, fc.err
+			}
+			out, err := extendTo(ctx, fc.res, opts)
+			if err != nil {
+				return nil, info, err
+			}
+			e.mu.Lock()
+			e.shared++
+			e.mu.Unlock()
+			info.Shared = true
+			return out, info, nil
+		}
+		fc := &flightCall{done: make(chan struct{})}
+		e.flight[key] = fc
+		e.misses++
+		e.mu.Unlock()
+
+		res, err := e.lead(ctx, key, fc, p, opts)
+		return res, info, err
+	}
+}
+
+// lead runs the search as the singleflight leader. The flight slot is
+// released in a defer — a panic inside the search must not strand followers
+// on fc.done or poison the key until restart, so it is converted into an
+// error shared with them. The search runs under the leader's own context:
+// if the leader is cancelled, followers whose contexts are still live
+// re-elect a leader and restart the search (the partial sweep is lost — a
+// deliberate simplicity trade-off over detaching the search onto a
+// waiter-refcounted context).
+func (e *Engine) lead(ctx context.Context, key string, fc *flightCall, p *sched.Placement, opts core.Options) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrSearchPanic, r)
+		}
+		fc.res, fc.err = res, err
+		e.mu.Lock()
+		delete(e.flight, key)
+		if err == nil {
+			e.insert(key, res)
+		}
+		e.mu.Unlock()
+		close(fc.done)
+	}()
+	if e.sem != nil {
+		select {
+		case e.sem <- struct{}{}:
+			defer func() { <-e.sem }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return core.Search(ctx, p, opts)
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Hits:      e.hits,
+		Misses:    e.misses,
+		Shared:    e.shared,
+		Evictions: e.evictions,
+		Entries:   len(e.entries),
+	}
+}
+
+// extendTo adapts a cached result to the requested micro-batch count,
+// re-using its repetend. When the counts already match the cached result is
+// returned as-is; otherwise the extension carries the originating search's
+// Stats, so every cache hit reports the same search effort regardless of
+// which N it asked for.
+func extendTo(ctx context.Context, cached *core.Result, opts core.Options) (*core.Result, error) {
+	n := opts.N
+	if n == 0 && cached.Repetend != nil {
+		n = 3 * cached.Repetend.NR
+	}
+	if n == cached.N {
+		return cached, nil
+	}
+	out, err := core.Extend(ctx, cached, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = cached.Stats
+	return out, nil
+}
+
+// requestKey combines the placement fingerprint with every option that can
+// change which repetend the search finds. Options are normalized first so
+// that spellings core.Search treats identically (Memory 0 vs Unbounded,
+// explicit vs default budgets, MaxNR 0 vs the memory-derived cap) share a
+// key. N and Workers are excluded: N is served by extension, and Workers
+// only changes how the sweep is parallelized.
+func requestKey(fingerprint string, p *sched.Placement, opts core.Options) string {
+	memory := opts.Memory
+	if memory == 0 {
+		memory = sched.Unbounded
+	}
+	maxNR := opts.MaxNR
+	if maxNR <= 0 {
+		maxNR = core.MaxInflight(p, memory)
+	}
+	maxAssign := opts.MaxAssignments
+	if maxAssign == 0 {
+		maxAssign = core.DefaultMaxAssignments
+	}
+	nodes := opts.SolverNodes
+	if nodes == 0 {
+		nodes = core.DefaultSolverNodes
+	}
+	return fmt.Sprintf("%s|mem=%d|nr=%d|asn=%d|nod=%d|to=%d|lazy=%t|simp=%t|ls=%t",
+		fingerprint, memory, maxNR, maxAssign, nodes, opts.SolverTimeout,
+		!opts.DisableLazy, opts.SimpleCompaction, !opts.DisableLocalSearch)
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// insert adds a result under key, evicting from the LRU tail when over
+// capacity. Callers hold e.mu.
+func (e *Engine) insert(key string, res *core.Result) {
+	if el, ok := e.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		e.lru.MoveToFront(el)
+		return
+	}
+	e.entries[key] = e.lru.PushFront(&cacheEntry{key: key, res: res})
+	for len(e.entries) > e.cap {
+		back := e.lru.Back()
+		e.lru.Remove(back)
+		delete(e.entries, back.Value.(*cacheEntry).key)
+		e.evictions++
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -97,7 +98,7 @@ func runE2E(family string, m Mode) (*E2EResult, error) {
 				opts.N = micros
 				opts.Memory = avail
 				var cres *core.Result
-				cres, err = core.Search(advanced, opts)
+				cres, err = core.Search(context.Background(), advanced, opts)
 				if err == nil {
 					s = cres.Full
 				}

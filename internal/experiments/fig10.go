@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -36,13 +37,13 @@ func Fig10(m Mode) (*Fig10Result, error) {
 	res := &Fig10Result{}
 	for _, name := range ModelOrder {
 		p := shapes[ModelShapes[name]]
-		lazy, err := core.Search(p, searchOpts(m.Quick))
+		lazy, err := core.Search(context.Background(), p, searchOpts(m.Quick))
 		if err != nil {
 			return nil, fmt.Errorf("fig10: %s: %w", p.Name, err)
 		}
 		eagerOpts := searchOpts(m.Quick)
 		eagerOpts.DisableLazy = true
-		eager, err := core.Search(p, eagerOpts)
+		eager, err := core.Search(context.Background(), p, eagerOpts)
 		if err != nil {
 			return nil, fmt.Errorf("fig10: %s eager: %w", p.Name, err)
 		}

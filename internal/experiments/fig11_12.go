@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ func Fig11(m Mode) (*Fig11Result, error) {
 			}
 			opts := searchOpts(m.Quick)
 			opts.MaxNR = nr
-			sres, err := core.Search(p, opts)
+			sres, err := core.Search(context.Background(), p, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig11: %s nr=%d: %w", name, nr, err)
 			}
@@ -101,7 +102,7 @@ func Fig12(m Mode) (*Fig12Result, error) {
 		for nr := 1; nr <= maxNR; nr++ {
 			opts := searchOpts(m.Quick)
 			opts.MaxNR = nr
-			sres, err := core.Search(p, opts)
+			sres, err := core.Search(context.Background(), p, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig12: %s nr=%d: %w", name, nr, err)
 			}
@@ -116,7 +117,7 @@ func Fig12(m Mode) (*Fig12Result, error) {
 			opts := searchOpts(m.Quick)
 			opts.MaxNR = zeroNR
 			opts.Memory = cap
-			sres, err := core.Search(p, opts)
+			sres, err := core.Search(context.Background(), p, opts)
 			if err != nil {
 				// Memory too tight for any repetend: full bubble.
 				series = append(series, 1)

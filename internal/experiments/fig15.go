@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -104,7 +105,7 @@ func Fig15(m Mode) (*Fig15Result, error) {
 		}
 		opts := searchOpts(m.Quick)
 		opts.N = n
-		cres, err := core.Search(kshape, opts)
+		cres, err := core.Search(context.Background(), kshape, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig15: tessel n=%d: %w", n, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,7 +38,7 @@ func Fig3(m Mode) (*Fig3Result, error) {
 	}
 	res := &Fig3Result{}
 	for _, n := range points {
-		_, sres, err := core.TimeOptimal(p, n, core.Options{SolverNodes: budget})
+		_, sres, err := core.TimeOptimal(context.Background(), p, n, core.Options{SolverNodes: budget})
 		if err != nil {
 			return nil, fmt.Errorf("fig3: n=%d: %w", n, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -46,7 +47,7 @@ func Fig9(m Mode) (*Fig9Result, error) {
 			if inference {
 				p = placement.Inference(train)
 			}
-			sres, err := core.Search(p, searchOpts(m.Quick))
+			sres, err := core.Search(context.Background(), p, searchOpts(m.Quick))
 			if err != nil {
 				return nil, fmt.Errorf("fig9: %s: %w", p.Name, err)
 			}
@@ -57,7 +58,7 @@ func Fig9(m Mode) (*Fig9Result, error) {
 				TONmb:      nmbs,
 			}
 			for _, n := range nmbs {
-				_, tores, err := core.TimeOptimal(p, n, core.Options{SolverNodes: budget})
+				_, tores, err := core.TimeOptimal(context.Background(), p, n, core.Options{SolverNodes: budget})
 				if err != nil {
 					return nil, fmt.Errorf("fig9: TO %s nmb=%d: %w", p.Name, n, err)
 				}

@@ -25,6 +25,7 @@
 package repetend
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -193,8 +194,12 @@ type SolveOptions struct {
 }
 
 // Solve constructs and evaluates the repetend for one assignment. It
-// returns ErrInfeasible (wrapped) when memory constraints rule it out.
-func Solve(p *sched.Placement, a Assignment, opts SolveOptions) (*Repetend, error) {
+// returns ErrInfeasible (wrapped) when memory constraints rule it out, and
+// ctx's error when the context is cancelled mid-solve.
+func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOptions) (*Repetend, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := a.Validate(p, 0); err != nil {
 		return nil, err
 	}
@@ -230,7 +235,7 @@ func Solve(p *sched.Placement, a Assignment, opts SolveOptions) (*Repetend, erro
 	if err != nil {
 		return nil, err
 	}
-	res, err := solver.Solve(tasks, solver.Options{
+	res, err := solver.Solve(ctx, tasks, solver.Options{
 		NumDevices: p.NumDevices,
 		Memory:     mem,
 		InitialMem: entry,
@@ -267,7 +272,7 @@ func Solve(p *sched.Placement, a Assignment, opts SolveOptions) (*Repetend, erro
 			return nil, fmt.Errorf("repetend: period repair failed for a feasible order")
 		}
 		if !opts.DisableLocalSearch {
-			period, tightStarts, orders = inst.localSearch(orders, period, tightStarts)
+			period, tightStarts, orders = inst.localSearch(ctx, orders, period, tightStarts)
 		}
 		r.Starts = tightStarts
 		r.Period = period
@@ -535,7 +540,8 @@ func (in *instance) minPeriod(orders [][]int) (int, []int, bool) {
 
 // localSearch improves the period by swapping adjacent order pairs that are
 // not dependency-ordered, re-checking memory and period after each swap.
-func (in *instance) localSearch(orders [][]int, period int, starts []int) (int, []int, [][]int) {
+// Cancellation stops further passes; the best ordering found so far is kept.
+func (in *instance) localSearch(ctx context.Context, orders [][]int, period int, starts []int) (int, []int, [][]int) {
 	maxPasses := in.p.K() * in.p.K()
 	lower := 1
 	for d := 0; d < in.p.NumDevices; d++ {
@@ -543,7 +549,7 @@ func (in *instance) localSearch(orders [][]int, period int, starts []int) (int, 
 			lower = w
 		}
 	}
-	for pass := 0; pass < maxPasses && period > lower; pass++ {
+	for pass := 0; pass < maxPasses && period > lower && ctx.Err() == nil; pass++ {
 		improved := false
 		for d := range orders {
 			o := orders[d]

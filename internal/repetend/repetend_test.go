@@ -1,6 +1,7 @@
 package repetend
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -161,7 +162,7 @@ func TestSolveVShapeZeroBubbleAtNR4(t *testing.T) {
 	// NR = D = 4.
 	p := vshape(t, 4)
 	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
-	r, err := Solve(p, a, SolveOptions{})
+	r, err := Solve(context.Background(), p, a, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,11 +184,11 @@ func TestSolveVShapeZeroBubbleAtNR4(t *testing.T) {
 func TestSolveSimpleCompactionAblation(t *testing.T) {
 	p := vshape(t, 4)
 	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
-	tight, err := Solve(p, a, SolveOptions{})
+	tight, err := Solve(context.Background(), p, a, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	simple, err := Solve(p, a, SolveOptions{SimpleCompaction: true})
+	simple, err := Solve(context.Background(), p, a, SolveOptions{SimpleCompaction: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestSolveSimpleCompactionAblation(t *testing.T) {
 func TestSolveSpansAndWaits(t *testing.T) {
 	p := vshape(t, 4)
 	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
-	r, err := Solve(p, a, SolveOptions{})
+	r, err := Solve(context.Background(), p, a, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestSolveSequentialAssignment(t *testing.T) {
 	// All-zero assignment = sequential execution: period is the full chain.
 	p := vshape(t, 4)
 	a := Assignment{0, 0, 0, 0, 0, 0, 0, 0}
-	r, err := Solve(p, a, SolveOptions{})
+	r, err := Solve(context.Background(), p, a, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestSolveSequentialAssignment(t *testing.T) {
 func TestSolveRejectsEntryMemoryOverflow(t *testing.T) {
 	p := vshape(t, 4)
 	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0} // device 0 entry memory 3
-	_, err := Solve(p, a, SolveOptions{Memory: 2})
+	_, err := Solve(context.Background(), p, a, SolveOptions{Memory: 2})
 	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
@@ -245,7 +246,7 @@ func TestSolveRejectsMemoryDrift(t *testing.T) {
 	p := vshape(t, 2)
 	p.Stages[0].Mem = 2 // forward +2, backward −1: net +1 per instance
 	a := Assignment{0, 0, 0, 0}
-	_, err := Solve(p, a, SolveOptions{Memory: 10})
+	_, err := Solve(context.Background(), p, a, SolveOptions{Memory: 10})
 	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible (drift)", err)
 	}
@@ -254,7 +255,7 @@ func TestSolveRejectsMemoryDrift(t *testing.T) {
 func TestUnrollValidates(t *testing.T) {
 	p := vshape(t, 4)
 	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
-	r, err := Solve(p, a, SolveOptions{})
+	r, err := Solve(context.Background(), p, a, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestUnrollValidates(t *testing.T) {
 func TestUnrollMicroProgression(t *testing.T) {
 	p := vshape(t, 4)
 	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
-	r, err := Solve(p, a, SolveOptions{})
+	r, err := Solve(context.Background(), p, a, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestUnrollMicroProgression(t *testing.T) {
 func TestScheduleAccessor(t *testing.T) {
 	p := vshape(t, 2)
 	a := Assignment{1, 0, 0, 0}
-	r, err := Solve(p, a, SolveOptions{})
+	r, err := Solve(context.Background(), p, a, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +344,7 @@ func TestSolvedRepetendsAlwaysUnrollValid(t *testing.T) {
 		}
 		a := candidates[rng.Intn(len(candidates))]
 		mem := 4 + rng.Intn(8)
-		r, err := Solve(p, a, SolveOptions{Memory: mem})
+		r, err := Solve(context.Background(), p, a, SolveOptions{Memory: mem})
 		if errors.Is(err, ErrInfeasible) {
 			return true
 		}
@@ -372,8 +373,8 @@ func TestLocalSearchNeverWorsens(t *testing.T) {
 	p := vshape(t, 4)
 	var checked int
 	if _, err := Enumerate(p, 3, func(a Assignment) bool {
-		with, err1 := Solve(p, a, SolveOptions{})
-		without, err2 := Solve(p, a, SolveOptions{DisableLocalSearch: true})
+		with, err1 := Solve(context.Background(), p, a, SolveOptions{})
+		without, err2 := Solve(context.Background(), p, a, SolveOptions{DisableLocalSearch: true})
 		if err1 != nil || err2 != nil {
 			t.Fatalf("solve: %v / %v", err1, err2)
 		}

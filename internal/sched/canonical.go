@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// The canonical encoding gives every placement a stable byte identity: two
+// Placement values that describe the same strategy — same device count,
+// same stages in the same order with the same costs and device sets, same
+// dependency DAG — encode to the same bytes regardless of how they were
+// built (shape constructors, JSON decoding, manual literals). The serving
+// engine hashes this encoding to deduplicate and cache search requests, so
+// the encoding must be deterministic and injective over the fields that
+// influence a search result.
+
+// AppendCanonical appends the canonical encoding of p to b and returns the
+// extended slice. The encoding is length-prefixed throughout (uvarint), so
+// no field boundary is ambiguous. Stage and placement names participate:
+// they do not affect the search itself, but they do appear in rendered and
+// serialized results, and serving a schedule under another placement's
+// labels would be wrong.
+func (p *Placement) AppendCanonical(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p.Name)))
+	b = append(b, p.Name...)
+	b = binary.AppendUvarint(b, uint64(p.NumDevices))
+	b = binary.AppendUvarint(b, uint64(len(p.Stages)))
+	for i := range p.Stages {
+		s := &p.Stages[i]
+		b = binary.AppendUvarint(b, uint64(len(s.Name)))
+		b = append(b, s.Name...)
+		b = binary.AppendUvarint(b, uint64(s.Kind))
+		b = binary.AppendVarint(b, int64(s.Time))
+		b = binary.AppendVarint(b, int64(s.Mem))
+		b = binary.AppendUvarint(b, uint64(len(s.Devices)))
+		for _, d := range s.Devices {
+			b = binary.AppendVarint(b, int64(d))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Deps)))
+	for _, succs := range p.Deps {
+		b = binary.AppendUvarint(b, uint64(len(succs)))
+		for _, v := range succs {
+			b = binary.AppendVarint(b, int64(v))
+		}
+	}
+	return b
+}
+
+// Fingerprint returns the SHA-256 of p's canonical encoding as a lowercase
+// hex string — the stable identity the serving engine keys its cache by.
+func Fingerprint(p *Placement) string {
+	sum := sha256.Sum256(p.AppendCanonical(nil))
+	return hex.EncodeToString(sum[:])
+}

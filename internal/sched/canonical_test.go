@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func canonPlacement() *Placement {
+	return &Placement{
+		Name:       "canon",
+		NumDevices: 2,
+		Stages: []Stage{
+			{Name: "f0", Kind: Forward, Time: 2, Mem: 1, Devices: []DeviceID{0}},
+			{Name: "f1", Kind: Forward, Time: 2, Mem: 1, Devices: []DeviceID{1}},
+			{Name: "b", Kind: Backward, Time: 4, Mem: -2, Devices: []DeviceID{0, 1}},
+		},
+		Deps: [][]int{{2}, {2}, nil},
+	}
+}
+
+// TestFingerprintStable: the fingerprint is a pure function of the
+// placement's content — clones and JSON round-trips share it.
+func TestFingerprintStable(t *testing.T) {
+	p := canonPlacement()
+	fp := Fingerprint(p)
+	if len(fp) != 64 || strings.ToLower(fp) != fp {
+		t.Fatalf("fingerprint %q is not lowercase hex sha256", fp)
+	}
+	if got := Fingerprint(p.Clone()); got != fp {
+		t.Fatalf("clone fingerprint %q != %q", got, fp)
+	}
+	var buf bytes.Buffer
+	if err := EncodePlacement(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodePlacement(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(q); got != fp {
+		t.Fatalf("JSON round-trip fingerprint %q != %q", got, fp)
+	}
+}
+
+// TestFingerprintSensitive: every semantic field participates in the
+// identity.
+func TestFingerprintSensitive(t *testing.T) {
+	base := Fingerprint(canonPlacement())
+	mutations := map[string]func(*Placement){
+		"name":        func(p *Placement) { p.Name = "other" },
+		"num-devices": func(p *Placement) { p.NumDevices = 3 },
+		"stage-name":  func(p *Placement) { p.Stages[0].Name = "x" },
+		"kind":        func(p *Placement) { p.Stages[0].Kind = Aux },
+		"time":        func(p *Placement) { p.Stages[0].Time = 3 },
+		"mem":         func(p *Placement) { p.Stages[0].Mem = 2 },
+		"devices":     func(p *Placement) { p.Stages[0].Devices = []DeviceID{1} },
+		"deps":        func(p *Placement) { p.Deps[1] = nil },
+	}
+	for label, mutate := range mutations {
+		q := canonPlacement()
+		mutate(q)
+		if Fingerprint(q) == base {
+			t.Errorf("%s mutation did not change the fingerprint", label)
+		}
+	}
+}
+
+// TestCanonicalNoBoundaryCollisions: the length-prefixed encoding keeps
+// adjacent variable-length fields from bleeding into each other (e.g.
+// stage names "ab"+"c" vs "a"+"bc").
+func TestCanonicalNoBoundaryCollisions(t *testing.T) {
+	mk := func(n1, n2 string) *Placement {
+		return &Placement{
+			Name:       "p",
+			NumDevices: 1,
+			Stages: []Stage{
+				{Name: n1, Time: 1, Devices: []DeviceID{0}},
+				{Name: n2, Time: 1, Devices: []DeviceID{0}},
+			},
+			Deps: [][]int{{1}, nil},
+		}
+	}
+	if Fingerprint(mk("ab", "c")) == Fingerprint(mk("a", "bc")) {
+		t.Fatal("boundary collision between adjacent stage names")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -35,7 +36,7 @@ func randomSchedule(rng *rand.Rand) (*sched.Schedule, error) {
 	case 1:
 		return baseline.GPipe(p, n)
 	default:
-		res, err := core.Search(p, core.Options{N: n, MaxNR: 3, MaxAssignments: 500, SolverNodes: 20000})
+		res, err := core.Search(context.Background(), p, core.Options{N: n, MaxNR: 3, MaxAssignments: 500, SolverNodes: 20000})
 		if err != nil {
 			return nil, err
 		}

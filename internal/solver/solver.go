@@ -26,9 +26,21 @@
 // wall-clock budgets and reports whether the returned result is proven
 // optimal. Figure 3 of the paper — search time exploding with the number of
 // micro-batches — reproduces directly on this solver.
+//
+// # Cancellation
+//
+// Solve takes a context.Context and is the single point the whole search
+// stack relies on for cancellation: the context's Done channel is polled
+// every few hundred search nodes (a node costs on the order of a
+// microsecond), so cancelling or exceeding the context deadline makes Solve
+// return ctx's error promptly. A context cancellation is a hard stop and
+// surfaces as an error; the per-call soft budgets (MaxNodes, Timeout) are
+// different in kind — exhausting them returns the best incumbent found so
+// far with Optimal=false and no error.
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -84,7 +96,9 @@ type Options struct {
 	// MaxNodes bounds the number of search nodes (0 = unlimited). When the
 	// budget is exhausted the best incumbent is returned with Optimal=false.
 	MaxNodes int64
-	// Timeout bounds wall-clock time (0 = unlimited), same fallback.
+	// Timeout bounds wall-clock time (0 = unlimited), same fallback. Unlike
+	// a context deadline — which aborts the solve with an error — exhausting
+	// Timeout degrades gracefully to the incumbent.
 	Timeout time.Duration
 	// DisableSymmetry turns off Property 4.1 pruning (for ablations; the
 	// pruning requires intra-micro dependencies and micro-monotone release
@@ -116,6 +130,7 @@ type Result struct {
 }
 
 type searcher struct {
+	ctx   context.Context
 	tasks []Task
 	opts  Options
 	d     int // device count
@@ -142,6 +157,7 @@ type searcher struct {
 	deadline  int
 	nodes     int64
 	truncated bool
+	cancelled bool
 	startTime time.Time
 	deadlineT time.Time
 	hasWallDL bool
@@ -162,12 +178,20 @@ const memoCap = 1 << 18
 
 // Solve finds a schedule for the given tasks under opts. It never panics on
 // well-formed input; malformed input (bad indices, non-positive durations)
-// returns a zero Result and an error.
-func Solve(tasks []Task, opts Options) (Result, error) {
+// returns a zero Result and an error. Cancelling ctx (or passing one whose
+// deadline has passed) aborts the solve promptly and returns ctx's error
+// alongside the best incumbent found before the abort.
+func Solve(ctx context.Context, tasks []Task, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if len(tasks) == 0 {
 		return Result{Feasible: true, Optimal: true}, nil
 	}
-	s, err := newSearcher(tasks, opts)
+	s, err := newSearcher(ctx, tasks, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -184,10 +208,14 @@ func Solve(tasks []Task, opts Options) (Result, error) {
 		// Exhausted the space without a solution: proven infeasible.
 		s.best.Optimal = true
 	}
+	if s.cancelled {
+		s.best.Optimal = false
+		return s.best, ctx.Err()
+	}
 	return s.best, nil
 }
 
-func newSearcher(tasks []Task, opts Options) (*searcher, error) {
+func newSearcher(ctx context.Context, tasks []Task, opts Options) (*searcher, error) {
 	d := opts.NumDevices
 	for i := range tasks {
 		if tasks[i].Time <= 0 {
@@ -210,7 +238,7 @@ func newSearcher(tasks []Task, opts Options) (*searcher, error) {
 			}
 		}
 	}
-	s := &searcher{tasks: tasks, opts: opts, d: d}
+	s := &searcher{ctx: ctx, tasks: tasks, opts: opts, d: d}
 	if opts.Memory == 0 {
 		s.opts.Memory = Unbounded
 	}
@@ -421,8 +449,16 @@ func (s *searcher) outOfBudget() bool {
 	if s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes {
 		return true
 	}
-	if s.hasWallDL && s.nodes%256 == 0 && time.Now().After(s.deadlineT) {
-		return true
+	if s.nodes%256 == 0 {
+		select {
+		case <-s.ctx.Done():
+			s.cancelled = true
+			return true
+		default:
+		}
+		if s.hasWallDL && time.Now().After(s.deadlineT) {
+			return true
+		}
 	}
 	return false
 }

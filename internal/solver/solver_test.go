@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -28,7 +29,7 @@ func vshape(d, fwd, bwd int) *sched.Placement {
 
 func mustSolve(t *testing.T, tasks []Task, opts Options) Result {
 	t.Helper()
-	res, err := Solve(tasks, opts)
+	res, err := Solve(context.Background(), tasks, opts)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -53,7 +54,7 @@ func validate(t *testing.T, p *sched.Placement, tasks []Task, res Result, mem in
 }
 
 func TestSolveEmpty(t *testing.T) {
-	res, err := Solve(nil, Options{})
+	res, err := Solve(context.Background(), nil, Options{})
 	if err != nil || !res.Feasible || !res.Optimal {
 		t.Fatalf("empty solve: res=%+v err=%v", res, err)
 	}
@@ -225,22 +226,22 @@ func TestSolveCycleDetected(t *testing.T) {
 		{ID: sched.Block{Stage: 0}, Time: 1, Devices: []sched.DeviceID{0}, Preds: []int{1}},
 		{ID: sched.Block{Stage: 1}, Time: 1, Devices: []sched.DeviceID{0}, Preds: []int{0}},
 	}
-	if _, err := Solve(tasks, Options{}); err == nil {
+	if _, err := Solve(context.Background(), tasks, Options{}); err == nil {
 		t.Fatal("cycle not detected")
 	}
 }
 
 func TestSolveRejectsBadTask(t *testing.T) {
-	if _, err := Solve([]Task{{Time: 0, Devices: []sched.DeviceID{0}}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), []Task{{Time: 0, Devices: []sched.DeviceID{0}}}, Options{}); err == nil {
 		t.Fatal("zero time accepted")
 	}
-	if _, err := Solve([]Task{{Time: 1}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), []Task{{Time: 1}}, Options{}); err == nil {
 		t.Fatal("no devices accepted")
 	}
-	if _, err := Solve([]Task{{Time: 1, Devices: []sched.DeviceID{0}, Preds: []int{5}}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), []Task{{Time: 1, Devices: []sched.DeviceID{0}, Preds: []int{5}}}, Options{}); err == nil {
 		t.Fatal("bad pred accepted")
 	}
-	if _, err := Solve([]Task{{Time: 1, Devices: []sched.DeviceID{-1}}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), []Task{{Time: 1, Devices: []sched.DeviceID{-1}}}, Options{}); err == nil {
 		t.Fatal("negative device accepted")
 	}
 }
@@ -440,7 +441,7 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		tasks, opts := randomInstance(rng)
 		opts.DisableSymmetry = true
-		res, err := Solve(tasks, opts)
+		res, err := Solve(context.Background(), tasks, opts)
 		if err != nil {
 			return false
 		}
@@ -484,10 +485,10 @@ func TestMemoPreservesOptimum(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		tasks, opts := randomInstance(rng)
 		opts.DisableSymmetry = true
-		with, err1 := Solve(tasks, opts)
+		with, err1 := Solve(context.Background(), tasks, opts)
 		optsNo := opts
 		optsNo.DisableMemo = true
-		without, err2 := Solve(tasks, optsNo)
+		without, err2 := Solve(context.Background(), tasks, optsNo)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -511,7 +512,7 @@ func TestSolverOutputAlwaysValid(t *testing.T) {
 			return false
 		}
 		mem := 1 + rng.Intn(4)
-		res, err := Solve(tasks, Options{Memory: mem, NumDevices: p.NumDevices})
+		res, err := Solve(context.Background(), tasks, Options{Memory: mem, NumDevices: p.NumDevices})
 		if err != nil {
 			return false
 		}
@@ -598,5 +599,41 @@ func TestUpperBoundPrunes(t *testing.T) {
 	res = mustSolve(t, tasks, Options{UpperBound: 8})
 	if !res.Feasible || res.Makespan != 7 {
 		t.Fatalf("res = %+v, want makespan 7", res)
+	}
+}
+
+// TestSolveCancellation: cancelling the context mid-solve aborts within a
+// few hundred node expansions (microseconds each) and returns ctx's error.
+func TestSolveCancellation(t *testing.T) {
+	p := vshape(4, 1, 2)
+	tasks, err := BuildTasks(p, AllBlocks(p, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Solve(ctx, tasks, Options{DisableMemo: true})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("solver did not stop within 2s of cancellation")
+	}
+}
+
+// TestSolvePreCancelled: an already-expired context short-circuits.
+func TestSolvePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tasks := []Task{{ID: sched.Block{}, Time: 1, Devices: []sched.DeviceID{0}}}
+	if _, err := Solve(ctx, tasks, Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

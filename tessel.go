@@ -9,8 +9,12 @@
 //
 //   - placement construction: the paper's V/X/M/K/NN shapes
 //     (NewVShape, …) or arbitrary custom placements (Placement, Stage);
-//   - schedule search: Search (the paper's Algorithm 1), TimeOptimal (the
-//     exact whole-problem baseline);
+//   - schedule search: Search / SearchContext (the paper's Algorithm 1,
+//     cancellable via context), TimeOptimal (the exact whole-problem
+//     baseline), Extend (§III-C generalization to any micro-batch count);
+//   - serving: NewEngine, a concurrency-safe front-end that fingerprints
+//     placements (Fingerprint), caches searched repetends, and serves
+//     repeat requests for any N without re-searching;
 //   - predefined baselines: OneFOneB, OneFOneBPlus, GPipe, ChimeraDirect;
 //   - runtime instantiation and simulation: Instantiate, Simulate;
 //   - rendering: Render.
@@ -23,13 +27,17 @@
 package tessel
 
 import (
+	"context"
+
 	"tessel/internal/baseline"
 	"tessel/internal/codegen"
 	"tessel/internal/core"
+	"tessel/internal/engine"
 	"tessel/internal/placement"
 	"tessel/internal/runtime"
 	"tessel/internal/sched"
 	"tessel/internal/sim"
+	"tessel/internal/solver"
 	"tessel/internal/trace"
 	"tessel/internal/viz"
 )
@@ -90,14 +98,33 @@ type SearchOptions = core.Options
 type SearchResult = core.Result
 
 // Search runs the paper's Algorithm 1: repetend construction, schedule
-// completion, and extension to opts.N micro-batches.
+// completion, and extension to opts.N micro-batches. It is SearchContext
+// with a background context; use SearchContext when the caller needs to
+// cancel or deadline-bound the search.
 func Search(p *Placement, opts SearchOptions) (*SearchResult, error) {
-	return core.Search(p, opts)
+	return core.Search(context.Background(), p, opts)
+}
+
+// SearchContext runs the paper's Algorithm 1 under ctx: cancelling ctx (or
+// exceeding its deadline) promptly stops every in-flight solver worker and
+// returns ctx's error.
+func SearchContext(ctx context.Context, p *Placement, opts SearchOptions) (*SearchResult, error) {
+	return core.Search(ctx, p, opts)
 }
 
 // TimeOptimal solves the whole scheduling problem exactly — the "TO"
 // baseline whose cost explodes with micro-batches (paper Figure 3).
-var TimeOptimal = core.TimeOptimal
+func TimeOptimal(p *Placement, n int, opts SearchOptions) (*Schedule, SolverResult, error) {
+	return core.TimeOptimal(context.Background(), p, n, opts)
+}
+
+// TimeOptimalContext is TimeOptimal under a cancellable context.
+func TimeOptimalContext(ctx context.Context, p *Placement, n int, opts SearchOptions) (*Schedule, SolverResult, error) {
+	return core.TimeOptimal(ctx, p, n, opts)
+}
+
+// SolverResult reports a raw exact-solver outcome (see internal/solver).
+type SolverResult = solver.Result
 
 // MaxInflight computes the paper's CalMaxInflight bound.
 var MaxInflight = core.MaxInflight
@@ -192,4 +219,43 @@ var RenderRepetend = viz.RenderRepetend
 
 // Extend rebuilds a searched schedule for a different micro-batch count
 // without re-running the repetend sweep (§III-C schedule generalization).
-var Extend = core.Extend
+func Extend(res *SearchResult, n int, opts SearchOptions) (*SearchResult, error) {
+	return core.Extend(context.Background(), res, n, opts)
+}
+
+// ExtendContext is Extend under a cancellable context.
+func ExtendContext(ctx context.Context, res *SearchResult, n int, opts SearchOptions) (*SearchResult, error) {
+	return core.Extend(ctx, res, n, opts)
+}
+
+// Fingerprint returns the canonical SHA-256 fingerprint of a placement: a
+// stable hex digest of the placement's structure, independent of how the
+// placement value was built or serialized. The engine uses it as the cache
+// identity of a search request.
+var Fingerprint = sched.Fingerprint
+
+// Serving engine (see internal/engine): a concurrency-safe front-end over
+// SearchContext that fingerprints placements, caches searched repetends in
+// an LRU, serves repeat requests for any micro-batch count via Extend
+// without re-searching, and coalesces concurrent identical requests.
+type (
+	// Engine is the cache-backed, deduplicating search front-end.
+	Engine = engine.Engine
+	// EngineOptions sizes the engine's repetend cache.
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of the engine's cache counters.
+	EngineStats = engine.Stats
+	// CacheInfo says how one Engine.Search call was served.
+	CacheInfo = engine.CacheInfo
+)
+
+// NewEngine builds a serving engine with the given cache capacity.
+var NewEngine = engine.New
+
+// ErrSearchPanic marks an Engine.Search that failed with a recovered panic
+// — a server bug, not a bad request.
+var ErrSearchPanic = engine.ErrSearchPanic
+
+// DefaultEngineCacheSize is the engine's cache capacity when
+// EngineOptions.CacheSize is zero.
+const DefaultEngineCacheSize = engine.DefaultCacheSize
