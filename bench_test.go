@@ -103,7 +103,10 @@ func BenchmarkFingerprint(b *testing.B) {
 }
 
 // BenchmarkEngineColdSearch measures a full search through a fresh engine
-// (every iteration misses).
+// (every iteration misses). This is the incumbent-pruned hot path: the
+// sweep publishes the best verified period through a shared atomic and
+// later solves prune against it, so regressions in the pruning show up
+// here first.
 func BenchmarkEngineColdSearch(b *testing.B) {
 	p := benchPlacement(b)
 	ctx := context.Background()
@@ -112,6 +115,26 @@ func BenchmarkEngineColdSearch(b *testing.B) {
 		if _, _, err := eng.Search(ctx, p, tessel.SearchOptions{N: 12}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSearchWorkers measures the cold m-shape sweep at fixed worker
+// counts. The result is byte-identical for every setting (the sweep judges
+// candidates in enumeration order and breaks ties canonically), so the
+// interesting number is how much wall clock the parallel sweep buys on top
+// of incumbent pruning.
+func BenchmarkSearchWorkers(b *testing.B) {
+	p := benchPlacement(b)
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 0} {
+		name := map[int]string{1: "w1", 2: "w2", 0: "wmax"}[workers]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tessel.SearchContext(ctx, p, tessel.SearchOptions{N: 12, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

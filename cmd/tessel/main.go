@@ -126,8 +126,8 @@ func runOneShot() {
 	fmt.Printf("schedule    %d micro-batches, makespan %d\n", res.N, res.Makespan)
 	fmt.Printf("assignment  %v\n", rep.Assign)
 	st := res.Stats
-	fmt.Printf("search      %s total: %d assignments, %d solved, early-exit=%v\n",
-		st.Total.Round(time.Millisecond), st.Assignments, st.Solved, st.EarlyExit)
+	fmt.Printf("search      %s total: %d assignments, %d solved, %d pruned, early-exit=%v truncated=%v\n",
+		st.Total.Round(time.Millisecond), st.Assignments, st.Solved, st.Pruned, st.EarlyExit, st.Truncated)
 	if !*quiet {
 		fmt.Println()
 		fmt.Print(tessel.Render(res.Full, tessel.RenderOptions{MaxWidth: *width}))

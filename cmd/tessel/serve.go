@@ -55,14 +55,15 @@ type searchRequest struct {
 }
 
 type searchRequestOptions struct {
-	N                int   `json:"n"`
-	Memory           int   `json:"memory"`
-	MaxNR            int   `json:"max_nr"`
-	MaxAssignments   int   `json:"max_assignments"`
-	SolverNodes      int64 `json:"solver_nodes"`
-	SolverTimeoutMS  int64 `json:"solver_timeout_ms"`
-	DisableLazy      bool  `json:"disable_lazy"`
-	SimpleCompaction bool  `json:"simple_compaction"`
+	N                  int   `json:"n"`
+	Memory             int   `json:"memory"`
+	MaxNR              int   `json:"max_nr"`
+	MaxAssignments     int   `json:"max_assignments"`
+	SolverNodes        int64 `json:"solver_nodes"`
+	SolverTimeoutMS    int64 `json:"solver_timeout_ms"`
+	DisableLazy        bool  `json:"disable_lazy"`
+	SimpleCompaction   bool  `json:"simple_compaction"`
+	DisableLocalSearch bool  `json:"disable_local_search"`
 }
 
 type searchResponse struct {
@@ -83,7 +84,9 @@ type searchResponse struct {
 type searchStatsJSON struct {
 	Assignments int   `json:"assignments"`
 	Solved      int   `json:"solved"`
+	Pruned      int   `json:"pruned"`
 	Improved    int   `json:"improved"`
+	SolverNodes int64 `json:"solver_nodes"`
 	EarlyExit   bool  `json:"early_exit"`
 	Truncated   bool  `json:"truncated"`
 	TotalMS     int64 `json:"total_ms"`
@@ -208,14 +211,15 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := tessel.SearchOptions{
-		N:                req.Options.N,
-		Memory:           req.Options.Memory,
-		MaxNR:            req.Options.MaxNR,
-		MaxAssignments:   req.Options.MaxAssignments,
-		SolverNodes:      req.Options.SolverNodes,
-		SolverTimeout:    s.solverTimeout,
-		DisableLazy:      req.Options.DisableLazy,
-		SimpleCompaction: req.Options.SimpleCompaction,
+		N:                  req.Options.N,
+		Memory:             req.Options.Memory,
+		MaxNR:              req.Options.MaxNR,
+		MaxAssignments:     req.Options.MaxAssignments,
+		SolverNodes:        req.Options.SolverNodes,
+		SolverTimeout:      s.solverTimeout,
+		DisableLazy:        req.Options.DisableLazy,
+		SimpleCompaction:   req.Options.SimpleCompaction,
+		DisableLocalSearch: req.Options.DisableLocalSearch,
 	}
 	if req.Options.SolverTimeoutMS > 0 {
 		opts.SolverTimeout = time.Duration(req.Options.SolverTimeoutMS) * time.Millisecond
@@ -239,7 +243,13 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			// Server bug: log the details, return a generic 500.
 			log.Printf("tessel serve: %v", err)
 			writeError(w, http.StatusInternalServerError, "internal search failure")
+		case errors.Is(err, tessel.ErrInvalidRequest):
+			// The request itself is malformed (e.g. a negative micro-batch
+			// count): a client error, not an unprocessable search.
+			writeError(w, http.StatusBadRequest, err.Error())
 		default:
+			// The request was well-formed but the search could not satisfy
+			// it (e.g. no feasible repetend within memory).
 			writeError(w, http.StatusUnprocessableEntity, err.Error())
 		}
 		return
@@ -257,19 +267,26 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		N:           res.N,
 		Makespan:    res.Makespan,
 		LowerBound:  res.LowerBound,
-		Period:      res.Repetend.Period,
-		NR:          res.Repetend.NR,
-		Assignment:  []int(res.Repetend.Assign),
 		BubbleRate:  res.BubbleRate,
 		Stats: searchStatsJSON{
 			Assignments: res.Stats.Assignments,
 			Solved:      res.Stats.Solved,
+			Pruned:      res.Stats.Pruned,
 			Improved:    res.Stats.Improved,
+			SolverNodes: res.Stats.SolverNodes,
 			EarlyExit:   res.Stats.EarlyExit,
 			Truncated:   res.Stats.Truncated,
 			TotalMS:     res.Stats.Total.Milliseconds(),
 		},
 		Schedule: schedBuf.Bytes(),
+	}
+	// A successful search always carries a repetend today, but the guard
+	// keeps a malformed (e.g. directly-solved future) result from crashing
+	// the handler mid-response.
+	if res.Repetend != nil {
+		resp.Period = res.Repetend.Period
+		resp.NR = res.Repetend.NR
+		resp.Assignment = []int(res.Repetend.Assign)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -130,8 +130,9 @@ func TestServeBadRequests(t *testing.T) {
 	}
 }
 
-// TestServeNegativeN: a negative micro-batch count is a clean 422, not a
-// handler panic, and the same placement stays searchable.
+// TestServeNegativeN: a negative micro-batch count is a request-validation
+// failure — a clean 400 (not 422, and not a handler panic) — and the same
+// placement stays searchable.
 func TestServeNegativeN(t *testing.T) {
 	s := newTestServer(t)
 	body, err := json.Marshal(map[string]any{
@@ -141,7 +142,7 @@ func TestServeNegativeN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w := postSearch(t, s, string(body)); w.Code != 422 {
+	if w := postSearch(t, s, string(body)); w.Code != 400 {
 		t.Fatalf("negative n status %d: %s", w.Code, w.Body.String())
 	}
 	good, _ := json.Marshal(map[string]any{
@@ -150,6 +151,43 @@ func TestServeNegativeN(t *testing.T) {
 	})
 	if w := postSearch(t, s, string(good)); w.Code != 200 {
 		t.Fatalf("placement unusable after bad request: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestServeDisableLocalSearch: the disable_local_search option reaches the
+// engine — a request differing only in that flag must run its own search
+// (distinct cache key), not be served from the other flavor's cache entry.
+func TestServeDisableLocalSearch(t *testing.T) {
+	s := newTestServer(t)
+	post := func(disable bool) searchResponse {
+		t.Helper()
+		body, err := json.Marshal(map[string]any{
+			"placement": json.RawMessage(placementJSON(t)),
+			"options":   map[string]any{"n": 6, "disable_local_search": disable},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := postSearch(t, s, string(body))
+		if w.Code != 200 {
+			t.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+		var resp searchResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	first := post(false)
+	if first.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	second := post(true)
+	if second.CacheHit {
+		t.Fatal("disable_local_search=true was served from the default-options cache entry")
+	}
+	if again := post(true); !again.CacheHit {
+		t.Fatal("repeat disable_local_search=true request missed the cache")
 	}
 }
 

@@ -4,6 +4,18 @@
 // warmup and cooldown phases (§IV-C), and the extension of the repetend to
 // any number of micro-batches.
 //
+// The sweep is incumbent-shared and bound-pruned: the best
+// completion-verified period so far is published through an atomic that
+// every solver worker snapshots before each solve, so an improvement found
+// by any worker immediately prunes the remaining candidates across all
+// workers and all remaining N_R rounds (repetend.SolveOptions.
+// PeriodUpperBound). Pruning only ever discards assignments that provably
+// cannot beat or tie the incumbent, and the collector judges outcomes in
+// enumeration order with canonical tie-breaking, so the returned schedule
+// is byte-identical for every Workers setting (assuming solver budgets are
+// not exhausted — wall-clock budgets make individual solves
+// timing-dependent).
+//
 // All entry points take a context.Context and honor it end-to-end: the
 // assignment producer, every concurrent repetend-solver worker, and the
 // completion solves all poll the same context, so cancelling it (or hitting
@@ -70,7 +82,10 @@ type Options struct {
 	// DisableLocalSearch turns off repetend order improvement.
 	DisableLocalSearch bool
 	// Workers sets the number of concurrent repetend solvers per N_R sweep
-	// (0 = GOMAXPROCS, 1 = fully sequential and deterministic).
+	// (0 = GOMAXPROCS). The chosen repetend and the returned schedule are
+	// identical for every Workers setting — the sweep judges candidates in
+	// enumeration order and breaks period ties by the canonically smallest
+	// assignment — so Workers only trades wall-clock time for CPU.
 	Workers int
 }
 
@@ -85,14 +100,24 @@ type PhaseDurations struct {
 type Stats struct {
 	// Assignments is the number of index assignments enumerated.
 	Assignments int
-	// Solved is the number of repetend instances solved.
+	// Solved is the number of repetend instances solved to a period.
 	Solved int
+	// Pruned is the number of assignments abandoned against the shared
+	// incumbent period before (or during) their instance solve.
+	Pruned int
 	// Improved counts strict period improvements.
 	Improved int
+	// SolverNodes is the total number of branch-and-bound nodes expanded by
+	// the repetend instance solves — the budget-independent measure of
+	// sweep effort that incumbent pruning is meant to shrink.
+	SolverNodes int64
 	// EarlyExit is true when the search hit the device-work lower bound and
 	// stopped (Algorithm 1 lines 19–20).
 	EarlyExit bool
-	// Truncated is true when an enumeration or solver budget was exhausted.
+	// Truncated is true when an enumeration or solver budget was exhausted
+	// anywhere in the search — assignment enumeration, a repetend instance
+	// solve, or a completion solve — so the result is budget-degraded
+	// rather than proven.
 	Truncated bool
 	// NRSwept is the largest N_R the sweep reached.
 	NRSwept int
@@ -193,20 +218,22 @@ func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, err
 		maxNR = MaxInflight(p, opts.Memory)
 	}
 
-	var best *repetend.Repetend
+	st := &sweepState{}
 	repOpts := repetend.SolveOptions{
 		Memory:             opts.Memory,
 		SolverNodes:        opts.SolverNodes,
 		SolverTimeout:      opts.SolverTimeout,
 		SimpleCompaction:   opts.SimpleCompaction,
 		DisableLocalSearch: opts.DisableLocalSearch,
+		// One instance-solve cache for the whole search: assignments that
+		// share a lag-zero pattern (across workers and N_R rounds) pay the
+		// branch-and-bound makespan solve once.
+		Cache: repetend.NewSolveCache(),
 	}
 
 	for nr := 1; nr <= maxNR; nr++ {
 		res.Stats.NRSwept = nr
-		var err error
-		best, err = sweepNR(ctx, p, nr, best, repOpts, opts, res)
-		if err != nil {
+		if err := sweepNR(ctx, p, nr, st, repOpts, opts, res); err != nil {
 			return nil, err
 		}
 		if err := ctx.Err(); err != nil {
@@ -216,8 +243,26 @@ func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, err
 			break
 		}
 	}
+	best := st.best
 	if best == nil {
 		return nil, fmt.Errorf("core: no feasible repetend for %s within memory %d and N_R ≤ %d", p.Name, opts.Memory, maxNR)
+	}
+	if opts.SimpleCompaction && st.bestBound > 0 {
+		// Under simple compaction the winning instance solve was seeded with
+		// the incumbent period of the moment, which can steer the solver to
+		// a different (equally optimal) start-time vector than an unbounded
+		// solve. Re-solve the winner canonically so the returned schedule
+		// bytes never depend on incumbent timing. (Tight-compaction results
+		// are bound-independent by construction and skip this.)
+		canonOpts := repOpts
+		canonOpts.PeriodUpperBound = 0
+		// Keep the sweep's verified best if the unbounded re-solve comes
+		// back worse — possible only when a node/wall budget truncated it.
+		if r, err := repetend.Solve(ctx, p, best.Assign, canonOpts); err == nil && r.Period <= best.Period {
+			best = r
+		} else if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	res.Repetend = best
 	res.BubbleRate = best.SteadyBubbleRate()
@@ -235,14 +280,59 @@ func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, err
 	return res, nil
 }
 
+// sweepState is the cross-round state of one Search's repetend sweep: the
+// verified best repetend, the incumbent bound in effect when it was solved,
+// and the shared atomic incumbent every solver worker prunes against.
+type sweepState struct {
+	// best is the best completion-verified repetend so far.
+	best *repetend.Repetend
+	// bestBound is the PeriodUpperBound best's solve ran under (0 = none);
+	// Search uses it to decide whether a canonical re-solve is needed.
+	bestBound int
+	// incumbent is the smallest completion-verified period published so
+	// far (0 = none yet). Workers snapshot it before every solve, so an
+	// improvement found by any worker prunes all later solves across all
+	// workers and all remaining N_R rounds — not just the next round.
+	// Only the collector stores to it, and only after checkCompletion
+	// passes: an unverified period could prune candidates that the failed
+	// repetend never actually beats.
+	incumbent atomic.Int64
+}
+
+// assignTask is one enumerated assignment tagged with its enumeration
+// sequence number.
+type assignTask struct {
+	seq int
+	a   repetend.Assignment
+}
+
+// solveOutcome is one worker's verdict on one assignment. Every received
+// task produces exactly one outcome (r == nil for infeasible, pruned,
+// skipped, or cancelled assignments), so the collector can process results
+// in enumeration order.
+type solveOutcome struct {
+	seq   int
+	r     *repetend.Repetend
+	bound int // incumbent snapshot the solve pruned against
+}
+
 // sweepNR enumerates and evaluates every canonical assignment for one
-// repetend size, fanning the solves out over a worker pool. It returns the
-// best repetend seen so far and sets Stats.EarlyExit when the device-work
-// lower bound is reached (Algorithm 1 lines 19–20). checkCompletion runs
+// repetend size, fanning the solves out over a worker pool and folding
+// improvements into st. It sets Stats.EarlyExit when the device-work lower
+// bound is reached (Algorithm 1 lines 19–20). checkCompletion runs
 // serialized on the collector side, so phase timing stays consistent.
-// Cancelling ctx stops the producer and every worker: in-flight solves abort
-// at their next context poll and sweepNR returns ctx's error.
-func sweepNR(ctx context.Context, p *sched.Placement, nr int, best *repetend.Repetend, repOpts repetend.SolveOptions, opts Options, res *Result) (*repetend.Repetend, error) {
+//
+// The collector processes outcomes in enumeration order (buffering the
+// out-of-order ones), replaces the best on a strictly smaller period or on
+// an equal period with a canonically smaller assignment, and stops — as a
+// sequential sweep would — at the first assignment that reaches the
+// lower bound. Together with bound-independent per-assignment solves this
+// makes the chosen repetend identical for any Workers setting; only the
+// effort counters (Solved, Pruned, SolverNodes) vary with scheduling.
+//
+// Cancelling ctx stops the producer and every worker: in-flight solves
+// abort at their next context poll and sweepNR returns ctx's error.
+func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, repOpts repetend.SolveOptions, opts Options, res *Result) error {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -250,20 +340,24 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, best *repetend.Rep
 	var (
 		stop      atomic.Bool
 		solved    atomic.Int64
+		pruned    atomic.Int64
+		nodes     atomic.Int64
+		truncSlv  atomic.Bool
 		repNanos  atomic.Int64
-		assignCh  = make(chan repetend.Assignment, 4*workers)
-		resultCh  = make(chan *repetend.Repetend, 4*workers)
+		assignCh  = make(chan assignTask, 4*workers)
+		resultCh  = make(chan solveOutcome, 4*workers)
 		wg        sync.WaitGroup
 		truncated bool
 	)
-	if best != nil && best.Period == res.LowerBound {
+	if st.best != nil && st.best.Period == res.LowerBound {
 		res.Stats.EarlyExit = true
-		return best, nil
+		return nil
 	}
 	// Producer: enumerate canonical assignments under the budget.
 	go func() {
 		defer close(assignCh)
 		budget := opts.MaxAssignments
+		seq := 0
 		_, err := repetend.Enumerate(p, nr, func(a repetend.Assignment) bool {
 			if stop.Load() {
 				return false
@@ -275,7 +369,8 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, best *repetend.Rep
 				return false
 			}
 			select {
-			case assignCh <- a:
+			case assignCh <- assignTask{seq: seq, a: a}:
+				seq++
 				return true
 			case <-ctx.Done():
 				return false
@@ -291,18 +386,34 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, best *repetend.Rep
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for a := range assignCh {
+			for task := range assignCh {
 				if stop.Load() || ctx.Err() != nil {
-					continue // drain
+					resultCh <- solveOutcome{seq: task.seq} // drain
+					continue
 				}
+				ro := repOpts
+				bound := int(st.incumbent.Load())
+				ro.PeriodUpperBound = bound
 				t0 := time.Now()
-				r, err := repetend.Solve(ctx, p, a, repOpts)
+				r, err := repetend.Solve(ctx, p, task.a, ro)
 				repNanos.Add(int64(time.Since(t0)))
 				if err != nil {
-					continue // infeasible assignment (or cancelled)
+					// Infeasible, pruned, or cancelled assignment.
+					if errors.Is(err, repetend.ErrPruned) {
+						pruned.Add(1)
+					}
+					if errors.Is(err, repetend.ErrTruncated) {
+						truncSlv.Store(true)
+					}
+					resultCh <- solveOutcome{seq: task.seq}
+					continue
 				}
 				solved.Add(1)
-				resultCh <- r
+				nodes.Add(r.SolverNodes)
+				if r.Truncated {
+					truncSlv.Store(true)
+				}
+				resultCh <- solveOutcome{seq: task.seq, r: r, bound: bound}
 			}
 		}()
 	}
@@ -310,36 +421,69 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, best *repetend.Rep
 		wg.Wait()
 		close(resultCh)
 	}()
-	var firstErr error
-	for r := range resultCh {
-		if firstErr != nil || (best != nil && r.Period >= best.Period) {
-			continue
+	var (
+		firstErr error
+		pending  = make(map[int]solveOutcome)
+		next     int
+		done     bool // early exit or error: stop judging, keep draining
+	)
+	judge := func(out solveOutcome) {
+		r := out.r
+		if r == nil {
+			return
+		}
+		if st.best != nil {
+			if r.Period > st.best.Period {
+				return
+			}
+			if r.Period == st.best.Period && r.Assign.Compare(st.best.Assign) >= 0 {
+				return
+			}
 		}
 		ok, err := checkCompletion(ctx, p, r, opts, &res.Stats)
 		if err != nil {
 			firstErr = err
+			done = true
 			stop.Store(true)
-			continue
+			return
 		}
 		if !ok {
-			continue
+			return
 		}
-		best = r
-		res.Stats.Improved++
-		if best.Period == res.LowerBound {
+		if st.best == nil || r.Period < st.best.Period {
+			res.Stats.Improved++
+			st.incumbent.Store(int64(r.Period))
+		}
+		st.best, st.bestBound = r, out.bound
+		if r.Period == res.LowerBound {
 			res.Stats.EarlyExit = true
+			done = true
 			stop.Store(true)
 		}
 	}
+	for out := range resultCh {
+		pending[out.seq] = out
+		for !done {
+			o, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			judge(o)
+		}
+	}
 	res.Stats.Solved += int(solved.Load())
+	res.Stats.Pruned += int(pruned.Load())
+	res.Stats.SolverNodes += nodes.Load()
 	res.Stats.Phase.Repetend += time.Duration(repNanos.Load())
-	if truncated {
+	if truncated || truncSlv.Load() {
 		res.Stats.Truncated = true
 	}
 	if firstErr == nil {
 		firstErr = ctx.Err()
 	}
-	return best, firstErr
+	return firstErr
 }
 
 // Extend rebuilds the warmup/body/cooldown composition of a completed
@@ -411,8 +555,11 @@ func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repete
 		SatisfyOnly: !opts.DisableLazy,
 	}
 	t0 := time.Now()
-	warmOK, err := phaseFeasible(ctx, p, warm, nil, nil, solveOpts)
+	warmOK, warmTrunc, err := phaseFeasible(ctx, p, warm, nil, nil, solveOpts)
 	stats.Phase.Warmup += time.Since(t0)
+	if warmTrunc {
+		stats.Truncated = true
+	}
 	if err != nil || !warmOK {
 		return false, err
 	}
@@ -424,29 +571,35 @@ func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repete
 		}
 	}
 	t1 := time.Now()
-	coolOK, err := phaseFeasible(ctx, p, cool, initMem, nil, solveOpts)
+	coolOK, coolTrunc, err := phaseFeasible(ctx, p, cool, initMem, nil, solveOpts)
 	stats.Phase.Cooldown += time.Since(t1)
+	if coolTrunc {
+		stats.Truncated = true
+	}
 	if err != nil || !coolOK {
 		return false, err
 	}
 	return true, nil
 }
 
-func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options) (bool, error) {
+// phaseFeasible reports whether the blocks admit a valid phase schedule.
+// truncated is true when the verdict was reached after a solver budget ran
+// out, so a false answer is budget-degraded rather than proven.
+func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options) (ok, truncated bool, err error) {
 	if len(blocks) == 0 {
-		return true, nil
+		return true, false, nil
 	}
 	tasks, err := solver.BuildTasks(p, blocks, nil)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	opts.InitialMem = initMem
 	opts.DeviceReady = deviceReady
 	res, err := solver.Solve(ctx, tasks, opts)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
-	return res.Feasible, nil
+	return res.Feasible, !res.Optimal, nil
 }
 
 // complete builds the final N-micro-batch schedule around the repetend:
@@ -462,7 +615,7 @@ func completeSchedule(ctx context.Context, res *Result, r *repetend.Repetend, n 
 	// Warmup: time-optimal solve from t=0.
 	warmStart := time.Now()
 	warm := warmupBlocks(p, r.Assign)
-	warmSched, warmFinish, err := solvePhase(ctx, p, warm, nil, nil, nil, opts)
+	warmSched, warmFinish, err := solvePhase(ctx, p, warm, nil, nil, nil, opts, &res.Stats)
 	res.Stats.Phase.Warmup += time.Since(warmStart)
 	if err != nil {
 		return fmt.Errorf("warmup: %w", err)
@@ -558,7 +711,7 @@ func completeSchedule(ctx context.Context, res *Result, r *repetend.Repetend, n 
 			initMem[d] += (r.Assign[i] + reps) * p.Stages[i].Mem
 		}
 	}
-	coolSched, _, err := solvePhase(ctx, p, cool, releases, initMem, deviceReady, opts)
+	coolSched, _, err := solvePhase(ctx, p, cool, releases, initMem, deviceReady, opts, &res.Stats)
 	res.Stats.Phase.Cooldown += time.Since(coolStart)
 	if err != nil {
 		return fmt.Errorf("cooldown: %w", err)
@@ -577,9 +730,12 @@ func completeSchedule(ctx context.Context, res *Result, r *repetend.Repetend, n 
 
 // completeDirect handles N < N_R with a whole-problem time-optimal solve.
 func completeDirect(ctx context.Context, res *Result, n int, opts Options) error {
-	full, _, err := TimeOptimal(ctx, res.Placement, n, opts)
+	full, sres, err := TimeOptimal(ctx, res.Placement, n, opts)
 	if err != nil {
 		return err
+	}
+	if !sres.Optimal {
+		res.Stats.Truncated = true
 	}
 	res.Warmup = sched.NewSchedule(res.Placement)
 	res.Body = full
@@ -589,8 +745,9 @@ func completeDirect(ctx context.Context, res *Result, n int, opts Options) error
 }
 
 // solvePhase runs a time-optimal solve of the given blocks and returns the
-// schedule plus a finish-time index.
-func solvePhase(ctx context.Context, p *sched.Placement, blocks []sched.Block, releases map[sched.Block]int, initMem, deviceReady []int, opts Options) (*sched.Schedule, map[sched.Block]int, error) {
+// schedule plus a finish-time index. A budget-degraded (non-optimal) solve
+// marks stats as truncated.
+func solvePhase(ctx context.Context, p *sched.Placement, blocks []sched.Block, releases map[sched.Block]int, initMem, deviceReady []int, opts Options, stats *Stats) (*sched.Schedule, map[sched.Block]int, error) {
 	if len(blocks) == 0 {
 		return sched.NewSchedule(p), map[sched.Block]int{}, nil
 	}
@@ -608,6 +765,9 @@ func solvePhase(ctx context.Context, p *sched.Placement, blocks []sched.Block, r
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if !sres.Optimal {
+		stats.Truncated = true
 	}
 	if !sres.Feasible {
 		return nil, nil, errors.New("phase infeasible")

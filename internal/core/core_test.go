@@ -372,3 +372,26 @@ func TestExtendErrors(t *testing.T) {
 		t.Fatal("n=0 accepted")
 	}
 }
+
+// TestSearchSolverBudgetTruncates: exhausting the per-solve node budget —
+// not just the assignment-enumeration budget — must surface as
+// Stats.Truncated, so callers can tell a proven result from a
+// budget-degraded one.
+func TestSearchSolverBudgetTruncates(t *testing.T) {
+	p := shape(t, "v-shape", 4)
+	res, err := Search(context.Background(), p, Options{N: 6, MaxNR: 3, SolverNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated {
+		t.Fatal("node-budget exhaustion inside repetend solves not reported as truncated")
+	}
+	checkFull(t, res, 0)
+	full, err := Search(context.Background(), p, Options{N: 6, MaxNR: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Truncated {
+		t.Fatal("unbudgeted search reported truncation")
+	}
+}

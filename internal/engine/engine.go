@@ -42,6 +42,13 @@ const DefaultCacheSize = 128
 // protocol should map it to an internal-error status, not a client error.
 var ErrSearchPanic = errors.New("engine: search panicked")
 
+// ErrInvalidRequest marks (by wrapping) a Search error caused by the
+// request itself — an invalid placement or option values — as opposed to a
+// search that ran and failed. Callers exposing the engine over a protocol
+// should map it to a bad-request status (400), not an unprocessable or
+// server-error one.
+var ErrInvalidRequest = errors.New("engine: invalid request")
+
 // Options configures an Engine.
 type Options struct {
 	// CacheSize caps the number of cached search results (≤0 uses
@@ -138,13 +145,13 @@ func (e *Engine) Search(ctx context.Context, p *sched.Placement, opts core.Optio
 	}
 	info := CacheInfo{}
 	if err := p.Validate(); err != nil {
-		return nil, info, err
+		return nil, info, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
 	}
 	if opts.N < 0 {
 		// Reject before touching the cache or flight maps: N is not part of
 		// the request key, so letting an invalid N become the singleflight
 		// leader would hand its error to concurrent valid requests.
-		return nil, info, fmt.Errorf("engine: micro-batch count must be non-negative, got %d", opts.N)
+		return nil, info, fmt.Errorf("%w: micro-batch count must be non-negative, got %d", ErrInvalidRequest, opts.N)
 	}
 	info.Fingerprint = sched.Fingerprint(p)
 	key := requestKey(info.Fingerprint, p, opts)
@@ -274,7 +281,12 @@ func extendTo(ctx context.Context, cached *core.Result, opts core.Options) (*cor
 // that spellings core.Search treats identically (Memory 0 vs Unbounded,
 // explicit vs default budgets, MaxNR 0 vs the memory-derived cap) share a
 // key. N and Workers are excluded: N is served by extension, and Workers
-// only changes how the sweep is parallelized.
+// only changes how the sweep is parallelized — core.Search's deterministic
+// collector returns byte-identical schedules for every Workers setting, so
+// keying on it would split the cache without changing any cached result.
+// That determinism is what makes the cache reproducible: which request of
+// a coalesced burst becomes the singleflight leader cannot change the
+// entry that gets pinned.
 func requestKey(fingerprint string, p *sched.Placement, opts core.Options) string {
 	memory := opts.Memory
 	if memory == 0 {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -262,5 +263,31 @@ func TestConcurrentSearchCap(t *testing.T) {
 	}
 	if st := e.Stats(); st.Misses != 2 || st.Entries != 2 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSearchInvalidRequestTyped: request-validation failures are wrapped in
+// ErrInvalidRequest so protocol front-ends can map them to 400s.
+func TestSearchInvalidRequestTyped(t *testing.T) {
+	eng := New(Options{})
+	if _, _, err := eng.Search(context.Background(), vshape(t), core.Options{N: -1}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("negative N: want ErrInvalidRequest, got %v", err)
+	}
+	bad := &sched.Placement{Name: "bad", NumDevices: 1,
+		Stages: []sched.Stage{{Name: "s", Time: 1}}, Deps: [][]int{nil}}
+	if _, _, err := eng.Search(context.Background(), bad, core.Options{}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("invalid placement: want ErrInvalidRequest, got %v", err)
+	}
+	// A well-formed but unsatisfiable request is a search failure, not an
+	// invalid request: this placement's activation spike never fits the
+	// memory capacity.
+	heavy := &sched.Placement{Name: "heavy", NumDevices: 1,
+		Stages: []sched.Stage{
+			{Name: "f", Kind: sched.Forward, Time: 1, Mem: 5, Devices: []sched.DeviceID{0}},
+			{Name: "b", Kind: sched.Backward, Time: 1, Mem: -5, Devices: []sched.DeviceID{0}},
+		},
+		Deps: [][]int{{1}, nil}}
+	if _, _, err := eng.Search(context.Background(), heavy, core.Options{Memory: 3}); err == nil || errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("infeasible search: want a non-request error, got %v", err)
 	}
 }

@@ -26,9 +26,11 @@ package repetend
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"tessel/internal/sched"
@@ -38,6 +40,16 @@ import (
 // ErrInfeasible reports that no repetend exists for an assignment under the
 // given memory constraints.
 var ErrInfeasible = errors.New("repetend: infeasible")
+
+// ErrPruned reports that Solve abandoned an assignment because its period
+// provably cannot be ≤ SolveOptions.PeriodUpperBound. The assignment may
+// still be feasible — it just cannot beat (or tie) the caller's incumbent.
+var ErrPruned = errors.New("repetend: pruned by period bound")
+
+// ErrTruncated marks (by wrapping) a Solve error whose verdict was reached
+// after a solver node or wall-clock budget ran out, so it is budget-degraded
+// rather than proven. Callers surface it as a truncated search.
+var ErrTruncated = errors.New("repetend: solver budget exhausted")
 
 // Assignment maps each stage i to the micro-batch index r_i its block
 // carries inside the repetend (Equation 3's n_i).
@@ -67,6 +79,29 @@ func (a Assignment) Validate(p *sched.Placement, nr int) error {
 
 // Clone returns a copy of the assignment.
 func (a Assignment) Clone() Assignment { return append(Assignment(nil), a...) }
+
+// Compare orders assignments lexicographically by micro index, shorter
+// prefixes first — the canonical order of the per-stage index vector. The
+// sweep uses it to break period ties deterministically: among repetends
+// with equal periods the canonically smallest assignment wins, so search
+// results do not depend on worker scheduling.
+func (a Assignment) Compare(b Assignment) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
 
 // Enumerate yields every canonical assignment of micro indices in [0, nr)
 // satisfying Property 4.2, with min index 0 and max index exactly nr−1 (so
@@ -177,6 +212,13 @@ type Repetend struct {
 	Waits []int
 	// EntryMem is the per-device memory at instance entry.
 	EntryMem []int
+	// SolverNodes is the number of branch-and-bound nodes the instance
+	// makespan solve expanded.
+	SolverNodes int64
+	// Truncated is true when the instance makespan solve exhausted a node
+	// or wall-clock budget and fell back to its incumbent, so Starts (and
+	// the derived period) are budget-degraded rather than proven optimal.
+	Truncated bool
 }
 
 // SolveOptions configures repetend solving.
@@ -191,11 +233,141 @@ type SolveOptions struct {
 	SimpleCompaction bool
 	// DisableLocalSearch turns off the adjacent-swap order improvement.
 	DisableLocalSearch bool
+	// Cache, when non-nil, memoizes instance makespan solves across
+	// assignments. The solve's task system depends on an assignment only
+	// through its lag-zero dependency pattern (which dependencies stay
+	// intra-instance) and the entry-memory state, and a sweep revisits the
+	// same pattern under many different lag vectors, so sharing one cache
+	// across a sweep's workers removes most branch-and-bound work. Safe to
+	// share concurrently.
+	Cache *SolveCache
+	// PeriodUpperBound, when positive, is an incumbent period held by the
+	// caller: only repetends with Period ≤ PeriodUpperBound are useful, and
+	// Solve returns ErrPruned as soon as it proves the assignment cannot
+	// reach the bound. The bound is inclusive — candidates that tie the
+	// incumbent still solve fully, so a sweep can break ties canonically
+	// regardless of the order in which workers publish improvements.
+	//
+	// Pruning is restricted to proofs that hold for *every* per-device
+	// order (the dependency-cycle bound), plus, in SimpleCompaction mode,
+	// seeding the instance makespan solve's own incumbent. In tight
+	// compaction the reported period/starts for an un-pruned assignment
+	// are therefore identical to an unbounded solve — which is what keeps
+	// incumbent-pruned sweeps deterministic.
+	PeriodUpperBound int
+}
+
+// SolveCache memoizes instance makespan solves keyed by everything the
+// solve depends on: the placement identity (canonical fingerprint),
+// per-device memory capacity, entry memory, and the lag-zero dependency
+// pattern of the assignment. Construct with NewSolveCache and share one
+// cache across all workers of a sweep — or across sweeps: distinct
+// placements never collide. The zero value is not usable.
+type SolveCache struct {
+	mu sync.Mutex
+	m  map[string]cachedSolve
+	// fp memoizes placement fingerprints by pointer so the SHA-256 is paid
+	// once per placement, not once per solve.
+	fp map[*sched.Placement]string
+}
+
+type cachedSolve struct {
+	feasible bool
+	optimal  bool
+	starts   []int // per stage, nil when infeasible
+}
+
+// NewSolveCache returns an empty instance-solve cache.
+func NewSolveCache() *SolveCache {
+	return &SolveCache{
+		m:  make(map[string]cachedSolve),
+		fp: make(map[*sched.Placement]string),
+	}
+}
+
+func (c *SolveCache) fingerprint(p *sched.Placement) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.fp[p]; ok {
+		return s
+	}
+	s := sched.Fingerprint(p)
+	c.fp[p] = s
+	return s
+}
+
+func (c *SolveCache) get(key string) (cachedSolve, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *SolveCache) put(key string, v cachedSolve) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+// instanceKey is the cache identity of one instance makespan solve: the
+// placement fingerprint (so one cache can serve many placements without
+// collisions), the memory capacity, the per-device entry memory (only when
+// the capacity can bind — under unbounded memory the entry state cannot
+// affect the solve), and the lag-zero edge set. Stage times, devices and
+// memory deltas are covered by the placement fingerprint.
+func instanceKey(fingerprint string, p *sched.Placement, a Assignment, entry []int, mem int) string {
+	b := make([]byte, 0, len(fingerprint)+8+4*len(entry)+4*p.K())
+	b = append(b, fingerprint...)
+	b = binary.AppendVarint(b, int64(mem))
+	if mem != sched.Unbounded {
+		for _, m := range entry {
+			b = binary.AppendVarint(b, int64(m))
+		}
+	}
+	for i, succs := range p.Deps {
+		for _, j := range succs {
+			if a[i] == a[j] {
+				b = binary.AppendUvarint(b, uint64(i))
+				b = binary.AppendUvarint(b, uint64(j))
+			}
+		}
+	}
+	return string(b)
+}
+
+// instanceTasks builds the canonical task system of one repetend instance:
+// one task per stage in stage order, with dependencies restricted to
+// lag-zero edges (cross-lag blocks belong to different micro-batches and
+// are independent within the instance, Equation 2). Stage order — rather
+// than BuildTasks' (micro, stage) order — makes the task system, and hence
+// the solver's deterministic traversal, identical for every assignment
+// sharing a lag-zero pattern, which is what lets SolveCache reuse solves.
+func instanceTasks(p *sched.Placement, a Assignment) []solver.Task {
+	tasks := make([]solver.Task, p.K())
+	for i := range tasks {
+		st := &p.Stages[i]
+		tasks[i] = solver.Task{
+			ID:      sched.Block{Stage: i, Micro: a[i]},
+			Time:    st.Time,
+			Mem:     st.Mem,
+			Devices: st.Devices,
+		}
+	}
+	for i, succs := range p.Deps {
+		for _, j := range succs {
+			if a[i] == a[j] {
+				tasks[j].Preds = append(tasks[j].Preds, i)
+			}
+		}
+	}
+	return tasks
 }
 
 // Solve constructs and evaluates the repetend for one assignment. It
-// returns ErrInfeasible (wrapped) when memory constraints rule it out, and
-// ctx's error when the context is cancelled mid-solve.
+// returns ErrInfeasible (wrapped) when memory constraints rule it out,
+// ErrPruned when PeriodUpperBound proves the assignment cannot beat the
+// caller's incumbent, and ctx's error when the context is cancelled
+// mid-solve. Budget-degraded verdicts additionally wrap ErrTruncated.
 func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOptions) (*Repetend, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -226,39 +398,85 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 			}
 		}
 	}
-	// Minimum-makespan instance solve to obtain per-device orders.
-	blocks := make([]sched.Block, p.K())
-	for i := range blocks {
-		blocks[i] = sched.Block{Stage: i, Micro: a[i]}
-	}
-	tasks, err := solver.BuildTasks(p, blocks, nil)
-	if err != nil {
-		return nil, err
-	}
-	res, err := solver.Solve(ctx, tasks, solver.Options{
-		NumDevices: p.NumDevices,
-		Memory:     mem,
-		InitialMem: entry,
-		MaxNodes:   opts.SolverNodes,
-		Timeout:    opts.SolverTimeout,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if !res.Feasible {
-		return nil, fmt.Errorf("%w: no instance schedule within memory", ErrInfeasible)
-	}
-	// Map task starts back to per-stage starts.
-	starts := make([]int, p.K())
-	for ti, task := range tasks {
-		starts[task.ID.Stage] = res.Starts[ti]
-	}
 	inst := newInstance(p, a, entry, mem)
+	bound := opts.PeriodUpperBound
+	if bound > 0 && (inst.workLowerBound() > bound || !inst.periodFeasibleRelaxed(bound)) {
+		// The order-independent bounds already rule the incumbent out: no
+		// per-device order can rescue this assignment, so skip the
+		// expensive instance solve entirely.
+		return nil, fmt.Errorf("%w: period lower bound > %d", ErrPruned, bound)
+	}
+	// Minimum-makespan instance solve to obtain per-device orders. The task
+	// system is canonical in stage order, so assignments sharing a lag-zero
+	// pattern (and entry memory) produce byte-identical solves — which the
+	// optional cache exploits. Incumbent-bounded solves (simple compaction)
+	// depend on the bound of the moment and bypass the cache.
+	var (
+		starts      []int
+		nodes       int64
+		optimal     = true
+		feasible    bool
+		hit         bool
+		boundPruned bool
+	)
+	bounded := bound > 0 && opts.SimpleCompaction
+	key := ""
+	if opts.Cache != nil && !bounded {
+		key = instanceKey(opts.Cache.fingerprint(p), p, a, entry, mem)
+		if c, ok := opts.Cache.get(key); ok {
+			hit, feasible, optimal = true, c.feasible, c.optimal
+			if c.feasible {
+				starts = append([]int(nil), c.starts...)
+			}
+		}
+	}
+	if !hit {
+		solveOpts := solver.Options{
+			NumDevices: p.NumDevices,
+			Memory:     mem,
+			InitialMem: entry,
+			MaxNodes:   opts.SolverNodes,
+			Timeout:    opts.SolverTimeout,
+		}
+		if bounded {
+			// Under Figure 6(a) semantics the period *is* the instance
+			// makespan, so the incumbent period bounds the makespan solve
+			// directly. (Under tight compaction the period can be far below
+			// the makespan, so the bound would be unsound there.)
+			solveOpts.UpperBound = bound + 1
+			solveOpts.Deadline = bound
+		}
+		res, err := solver.Solve(ctx, instanceTasks(p, a), solveOpts)
+		if err != nil {
+			return nil, err
+		}
+		nodes, optimal, feasible, boundPruned = res.Nodes, res.Optimal, res.Feasible, res.BoundPruned
+		if feasible {
+			starts = append([]int(nil), res.Starts...) // stage order
+		}
+		if key != "" {
+			opts.Cache.put(key, cachedSolve{feasible: feasible, optimal: optimal, starts: append([]int(nil), starts...)})
+		}
+	}
+	if !feasible {
+		verdict := ErrInfeasible
+		detail := "no instance schedule within memory"
+		if boundPruned {
+			verdict = ErrPruned
+			detail = fmt.Sprintf("no instance schedule with makespan ≤ %d", bound)
+		}
+		if !optimal {
+			return nil, fmt.Errorf("%w: %s (%w)", verdict, detail, ErrTruncated)
+		}
+		return nil, fmt.Errorf("%w: %s", verdict, detail)
+	}
 	r := &Repetend{
-		P:        p,
-		Assign:   a.Clone(),
-		NR:       maxOf(a) + 1,
-		EntryMem: entry,
+		P:           p,
+		Assign:      a.Clone(),
+		NR:          maxOf(a) + 1,
+		EntryMem:    entry,
+		SolverNodes: nodes,
+		Truncated:   !optimal,
 	}
 	normalize(starts)
 	r.SimplePeriod = makespanOf(p, starts)
@@ -267,8 +485,18 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 		r.Period = r.SimplePeriod
 	} else {
 		orders := ordersFromStarts(p, starts)
-		period, tightStarts, ok := inst.minPeriod(orders)
-		if !ok {
+		// Bounding the initial period search by the incumbent is only sound
+		// when local search cannot improve the order afterwards; with local
+		// search enabled the true period is needed as its starting point.
+		initBound := 0
+		if opts.DisableLocalSearch {
+			initBound = bound
+		}
+		period, tightStarts, status := inst.minPeriod(orders, initBound)
+		switch status {
+		case periodPruned:
+			return nil, fmt.Errorf("%w: order period > %d", ErrPruned, bound)
+		case periodInfeasible:
 			return nil, fmt.Errorf("repetend: period repair failed for a feasible order")
 		}
 		if !opts.DisableLocalSearch {
@@ -278,6 +506,9 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 		r.Period = period
 	}
 	r.computeSpans()
+	if bound > 0 && r.Period > bound {
+		return nil, fmt.Errorf("%w: period %d > %d", ErrPruned, r.Period, bound)
+	}
 	return r, nil
 }
 
@@ -425,6 +656,33 @@ func newInstance(p *sched.Placement, a Assignment, entry []int, mem int) *instan
 	return in
 }
 
+// windowEdges builds the order-independent device-window constraints: for
+// every ordered pair (v, u) of distinct stages sharing a device,
+// s_u ≥ s_v + t_v − P (every block of a device starts within one
+// period-length window of the device's first start, in any execution
+// order). Built on demand — only bounded solves consult the relaxation.
+func (in *instance) windowEdges() []diffEdge {
+	k := in.p.K()
+	seen := make([][]bool, k)
+	for i := range seen {
+		seen[i] = make([]bool, k)
+	}
+	var edges []diffEdge
+	for d := 0; d < in.p.NumDevices; d++ {
+		ids := in.p.DeviceStages(sched.DeviceID(d))
+		for _, v := range ids {
+			for _, u := range ids {
+				if u == v || seen[v][u] {
+					continue
+				}
+				seen[v][u] = true
+				edges = append(edges, diffEdge{from: v, to: u, base: in.p.Stages[v].Time, coeff: 1})
+			}
+		}
+	}
+	return edges
+}
+
 func ordersFromStarts(p *sched.Placement, starts []int) [][]int {
 	orders := make([][]int, p.NumDevices)
 	for d := 0; d < p.NumDevices; d++ {
@@ -502,13 +760,66 @@ func (in *instance) memoryOK(orders [][]int) bool {
 	return true
 }
 
-// minPeriod binary-searches the smallest feasible period for fixed orders.
-func (in *instance) minPeriod(orders [][]int) (int, []int, bool) {
+// periodFeasibleRelaxed reports whether period P survives the
+// order-independent relaxation of the repetend constraint system: the
+// dependency edges (s_j ≥ s_i + t_i − lag·P) plus the device-window edges
+// (s_u ≥ s_v + t_v − P for distinct same-device stages, valid for every
+// execution order). Every per-order system contains a superset of these
+// constraints and feasibility is monotone in P, so a false result proves
+// min period > P for all per-device orders — without touching the solver.
+// Assignments with small forward/backward lags (few micro-batches in
+// flight) fail this at realistic incumbents, which is what lets the sweep
+// discard the expensive, hopeless candidates instantly.
+func (in *instance) periodFeasibleRelaxed(period int) bool {
+	window := in.windowEdges()
+	edges := make([]diffEdge, 0, len(in.intra)+len(in.cross)+len(window))
+	for _, e := range in.intra {
+		edges = append(edges, diffEdge{e[0], e[1], in.p.Stages[e[0]].Time, 0})
+	}
+	for _, c := range in.cross {
+		edges = append(edges, diffEdge{c.from, c.to, in.p.Stages[c.from].Time, c.lag})
+	}
+	edges = append(edges, window...)
+	dist := make([]int, in.p.K())
+	return feasibleEdges(edges, dist, period)
+}
+
+// workLowerBound is max_d E_d's floor: no period can be smaller than the
+// busiest device's total work (Algorithm 1, GetLowerBound).
+func (in *instance) workLowerBound() int {
 	lo := 1
 	for d := 0; d < in.p.NumDevices; d++ {
 		if w := in.p.DeviceWork(sched.DeviceID(d)); w > lo {
 			lo = w
 		}
+	}
+	return lo
+}
+
+// periodStatus reports how a bounded minPeriod call ended.
+type periodStatus int
+
+const (
+	// periodOK: the minimum feasible period (≤ bound, if set) was found.
+	periodOK periodStatus = iota
+	// periodPruned: a bound was set and the minimum period provably
+	// exceeds it; the order is not necessarily infeasible.
+	periodPruned
+	// periodInfeasible: the constraint system has no period at all
+	// (cyclic order) — a solver-order repair bug, not a prune.
+	periodInfeasible
+)
+
+// minPeriod binary-searches the smallest feasible period for fixed orders.
+// A positive bound restricts the search to periods ≤ bound: when even the
+// bound is infeasible the call returns periodPruned without locating the
+// true minimum. The device-work lower bound is tried first, so orders that
+// achieve it (the common case near convergence) cost a single feasibility
+// check instead of a full binary search.
+func (in *instance) minPeriod(orders [][]int, bound int) (int, []int, periodStatus) {
+	lo := in.workLowerBound()
+	if bound > 0 && lo > bound {
+		return 0, nil, periodPruned
 	}
 	hi := 0
 	for i := range in.p.Stages {
@@ -519,9 +830,21 @@ func (in *instance) minPeriod(orders [][]int) (int, []int, bool) {
 	}
 	edges := in.buildEdges(orders)
 	dist := make([]int, in.p.K())
-	if !feasibleEdges(edges, dist, hi) {
-		return 0, nil, false
+	// Fast path: stop immediately at the device-work lower bound.
+	if feasibleEdges(edges, dist, lo) {
+		starts := append([]int(nil), dist...)
+		normalize(starts)
+		return lo, starts, periodOK
 	}
+	if bound > 0 && bound < hi {
+		if !feasibleEdges(edges, dist, bound) {
+			return 0, nil, periodPruned
+		}
+		hi = bound
+	} else if !feasibleEdges(edges, dist, hi) {
+		return 0, nil, periodInfeasible
+	}
+	lo++ // the fast path proved lo itself infeasible
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if feasibleEdges(edges, dist, mid) {
@@ -531,24 +854,27 @@ func (in *instance) minPeriod(orders [][]int) (int, []int, bool) {
 		}
 	}
 	if !feasibleEdges(edges, dist, lo) {
-		return 0, nil, false
+		return 0, nil, periodInfeasible
 	}
 	starts := append([]int(nil), dist...)
 	normalize(starts)
-	return lo, starts, true
+	return lo, starts, periodOK
 }
 
 // localSearch improves the period by swapping adjacent order pairs that are
 // not dependency-ordered, re-checking memory and period after each swap.
+// Candidate evaluations are bounded by the current period: only a strict
+// improvement is useful, so each inner search runs with bound period−1 and
+// bails out as soon as the swap cannot beat the incumbent order. The search
+// stops immediately once the device-work lower bound is reached.
 // Cancellation stops further passes; the best ordering found so far is kept.
+//
+// All bounds here derive from per-assignment state only (never from a
+// shared sweep incumbent), so the result is a pure function of the
+// assignment — a requirement for worker-count-independent sweeps.
 func (in *instance) localSearch(ctx context.Context, orders [][]int, period int, starts []int) (int, []int, [][]int) {
 	maxPasses := in.p.K() * in.p.K()
-	lower := 1
-	for d := 0; d < in.p.NumDevices; d++ {
-		if w := in.p.DeviceWork(sched.DeviceID(d)); w > lower {
-			lower = w
-		}
-	}
+	lower := in.workLowerBound()
 	for pass := 0; pass < maxPasses && period > lower && ctx.Err() == nil; pass++ {
 		improved := false
 		for d := range orders {
@@ -562,9 +888,12 @@ func (in *instance) localSearch(ctx context.Context, orders [][]int, period int,
 				if cand == nil || !in.memoryOK(cand) {
 					continue
 				}
-				if p2, s2, ok := in.minPeriod(cand); ok && p2 < period {
+				if p2, s2, st := in.minPeriod(cand, period-1); st == periodOK {
 					orders, period, starts = cand, p2, s2
 					improved = true
+					if period <= lower {
+						return period, starts, orders
+					}
 				}
 			}
 		}

@@ -387,3 +387,137 @@ func TestLocalSearchNeverWorsens(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSolvePeriodUpperBound: the bound is inclusive — an assignment that
+// exactly ties it solves identically to an unbounded solve — and anything
+// that provably cannot reach it returns ErrPruned.
+func TestSolvePeriodUpperBound(t *testing.T) {
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	free, err := Solve(context.Background(), p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tied, err := Solve(context.Background(), p, a, SolveOptions{PeriodUpperBound: free.Period})
+	if err != nil {
+		t.Fatalf("bound == period must not prune: %v", err)
+	}
+	if tied.Period != free.Period {
+		t.Fatalf("tied solve period %d != %d", tied.Period, free.Period)
+	}
+	for i := range free.Starts {
+		if tied.Starts[i] != free.Starts[i] {
+			t.Fatalf("bounded solve changed starts: %v vs %v", tied.Starts, free.Starts)
+		}
+	}
+	_, err = Solve(context.Background(), p, a, SolveOptions{PeriodUpperBound: free.Period - 1})
+	if !errors.Is(err, ErrPruned) {
+		t.Fatalf("bound below the optimum should prune, got %v", err)
+	}
+	if errors.Is(err, ErrInfeasible) {
+		t.Fatal("pruned must not read as infeasible")
+	}
+}
+
+// TestSolvePrunesBeforeInstanceSolve: a sequential (all-equal) assignment
+// keeps every dependency intra-instance, so the order-independent
+// relaxation alone proves its period is the whole chain — way above a
+// pipeline incumbent — and the prune must not pay an instance solve.
+func TestSolvePrunesBeforeInstanceSolve(t *testing.T) {
+	p := vshape(t, 4)
+	seq := Assignment{0, 0, 0, 0, 0, 0, 0, 0}
+	free, err := Solve(context.Background(), p, seq, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Period <= 3 {
+		t.Fatalf("sequential period %d unexpectedly small", free.Period)
+	}
+	// A node budget of 1 would degrade any attempted instance solve; the
+	// relaxation prune must fire before the solver ever runs.
+	_, err = Solve(context.Background(), p, seq, SolveOptions{PeriodUpperBound: 3, SolverNodes: 1})
+	if !errors.Is(err, ErrPruned) {
+		t.Fatalf("want ErrPruned from the relaxation, got %v", err)
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatal("relaxation prune must not touch the budgeted solver")
+	}
+}
+
+// TestSolveTruncatedFlag: exhausting the per-solve node budget degrades the
+// instance solve to its greedy incumbent and must be reported.
+func TestSolveTruncatedFlag(t *testing.T) {
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	r, err := Solve(context.Background(), p, a, SolveOptions{SolverNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Truncated {
+		t.Fatal("node budget 1 must mark the repetend as truncated")
+	}
+	full, err := Solve(context.Background(), p, a, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("unbudgeted solve reported truncation")
+	}
+}
+
+// TestSolveCacheSharesInstanceSolves: assignments sharing a lag-zero
+// dependency pattern reuse the cached instance solve (zero fresh solver
+// nodes) and agree with an uncached solve.
+func TestSolveCacheSharesInstanceSolves(t *testing.T) {
+	p := vshape(t, 4)
+	a := Assignment{3, 2, 1, 0, 0, 0, 0, 0}
+	b := Assignment{4, 3, 2, 1, 1, 1, 1, 1} // same pattern, shifted lags
+	cache := NewSolveCache()
+	first, err := Solve(context.Background(), p, a, SolveOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.SolverNodes == 0 {
+		t.Fatal("first solve should expand solver nodes")
+	}
+	second, err := Solve(context.Background(), p, b, SolveOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.SolverNodes != 0 {
+		t.Fatalf("same-pattern solve expanded %d nodes instead of hitting the cache", second.SolverNodes)
+	}
+	uncached, err := Solve(context.Background(), p, b, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Period != uncached.Period {
+		t.Fatalf("cached period %d != uncached %d", second.Period, uncached.Period)
+	}
+	for i := range uncached.Starts {
+		if second.Starts[i] != uncached.Starts[i] {
+			t.Fatalf("cached starts %v != uncached %v", second.Starts, uncached.Starts)
+		}
+	}
+}
+
+// TestAssignmentCompare pins the canonical tie-break order.
+func TestAssignmentCompare(t *testing.T) {
+	cases := []struct {
+		a, b Assignment
+		want int
+	}{
+		{Assignment{0, 1}, Assignment{0, 1}, 0},
+		{Assignment{0, 1}, Assignment{0, 2}, -1},
+		{Assignment{1, 0}, Assignment{0, 9}, 1},
+		{Assignment{0}, Assignment{0, 0}, -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Fatalf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Fatalf("Compare(%v,%v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}

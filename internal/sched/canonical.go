@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"sort"
 )
 
 // The canonical encoding gives every placement a stable byte identity: two
@@ -52,5 +53,46 @@ func (p *Placement) AppendCanonical(b []byte) []byte {
 // hex string — the stable identity the serving engine keys its cache by.
 func Fingerprint(p *Placement) string {
 	sum := sha256.Sum256(p.AppendCanonical(nil))
+	return hex.EncodeToString(sum[:])
+}
+
+// AppendCanonical appends the canonical encoding of schedule s to b: the
+// placement's canonical encoding followed by every item as
+// (stage, micro, start) triples in (start, stage, micro) order. The item
+// order is canonicalized here (without mutating s), so two schedules that
+// assign the same start times encode identically regardless of how their
+// item slices were assembled. Byte-equality of two encodings therefore
+// means "the same schedule of the same placement" — the property the
+// search determinism guarantee (and its tests) are stated in.
+func (s *Schedule) AppendCanonical(b []byte) []byte {
+	b = s.P.AppendCanonical(b)
+	idx := make([]int, len(s.Items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, c := s.Items[idx[x]], s.Items[idx[y]]
+		if a.Start != c.Start {
+			return a.Start < c.Start
+		}
+		if a.Stage != c.Stage {
+			return a.Stage < c.Stage
+		}
+		return a.Micro < c.Micro
+	})
+	b = binary.AppendUvarint(b, uint64(len(s.Items)))
+	for _, i := range idx {
+		it := s.Items[i]
+		b = binary.AppendVarint(b, int64(it.Stage))
+		b = binary.AppendVarint(b, int64(it.Micro))
+		b = binary.AppendVarint(b, int64(it.Start))
+	}
+	return b
+}
+
+// FingerprintSchedule returns the SHA-256 of s's canonical encoding as a
+// lowercase hex string.
+func FingerprintSchedule(s *Schedule) string {
+	sum := sha256.Sum256(s.AppendCanonical(nil))
 	return hex.EncodeToString(sum[:])
 }

@@ -85,3 +85,31 @@ func TestCanonicalNoBoundaryCollisions(t *testing.T) {
 		t.Fatal("boundary collision between adjacent stage names")
 	}
 }
+
+// TestScheduleFingerprintOrderIndependent: two schedules with the same
+// start times encode identically regardless of item insertion order, and
+// any start-time change alters the fingerprint.
+func TestScheduleFingerprintOrderIndependent(t *testing.T) {
+	p := canonPlacement()
+	a := NewSchedule(p)
+	a.Add(0, 0, 0)
+	a.Add(1, 0, 2)
+	a.Add(2, 0, 4)
+	b := NewSchedule(p)
+	b.Add(2, 0, 4)
+	b.Add(0, 0, 0)
+	b.Add(1, 0, 2)
+	if FingerprintSchedule(a) != FingerprintSchedule(b) {
+		t.Fatal("item order changed the schedule fingerprint")
+	}
+	c := NewSchedule(p)
+	c.Add(0, 0, 0)
+	c.Add(1, 0, 2)
+	c.Add(2, 0, 5)
+	if FingerprintSchedule(a) == FingerprintSchedule(c) {
+		t.Fatal("different start times share a fingerprint")
+	}
+	if !bytes.Equal(a.AppendCanonical(nil), b.AppendCanonical(nil)) {
+		t.Fatal("canonical bytes differ for equal schedules")
+	}
+}

@@ -107,7 +107,12 @@ type Options struct {
 	// DisableMemo turns off dominance memoization (for ablations).
 	DisableMemo bool
 	// UpperBound, when positive, seeds the incumbent: only schedules with
-	// makespan strictly below it are accepted.
+	// makespan strictly below it are accepted. Together with Deadline it is
+	// the bound-pruned solve entry point: a caller holding an incumbent
+	// solution elsewhere (e.g. the repetend sweep's best period) seeds both
+	// and the search abandons any branch that cannot beat the incumbent.
+	// When no schedule passes, Result.BoundPruned distinguishes "nothing
+	// within the seeded bound" from absolute infeasibility.
 	UpperBound int
 }
 
@@ -119,6 +124,13 @@ type Result struct {
 	// Optimal is true when the search space was exhausted, proving the
 	// returned makespan minimal (always false if SatisfyOnly found early).
 	Optimal bool
+	// BoundPruned is true when Feasible is false but the verdict is only
+	// relative to a caller-seeded bound (Options.UpperBound or Deadline):
+	// no schedule within the bound exists (or was found before a budget
+	// ran out), while the unbounded problem may still be feasible. Callers
+	// treating the seeded bound as an external incumbent should read this
+	// as "pruned", not "infeasible".
+	BoundPruned bool
 	// Makespan is the completion time of the best schedule found.
 	Makespan int
 	// Starts holds the start time per task (parallel to the input slice).
@@ -156,6 +168,7 @@ type searcher struct {
 	bestSet   bool
 	deadline  int
 	nodes     int64
+	boundCut  bool // a caller-seeded UpperBound/Deadline rejected a branch
 	truncated bool
 	cancelled bool
 	startTime time.Time
@@ -207,6 +220,13 @@ func Solve(ctx context.Context, tasks []Task, opts Options) (Result, error) {
 	if !s.bestSet && !s.truncated {
 		// Exhausted the space without a solution: proven infeasible.
 		s.best.Optimal = true
+	}
+	if !s.best.Feasible && s.boundCut {
+		// Only bound-relative: a seeded bound rejected at least one branch,
+		// so the unbounded problem may still be feasible. An exhausted
+		// search that never hit the bound is absolute infeasibility and is
+		// reported as such even when a bound was passed.
+		s.best.BoundPruned = true
 	}
 	if s.cancelled {
 		s.best.Optimal = false
@@ -359,13 +379,30 @@ func newSearcher(ctx context.Context, tasks []Task, opts Options) (*searcher, er
 
 func (s *searcher) run() {
 	// Seed the incumbent with a greedy dispatch so pruning bites early.
-	if starts, ms, ok := s.greedy(); ok && ms < s.best.Makespan && ms <= s.deadline {
-		s.record(starts, ms)
-		if s.opts.SatisfyOnly {
-			return
+	if starts, ms, ok := s.greedy(); ok {
+		if ms < s.best.Makespan && ms <= s.deadline {
+			s.record(starts, ms)
+			if s.opts.SatisfyOnly {
+				return
+			}
+		} else {
+			s.boundCut = true // feasible dispatch rejected by a seeded bound
 		}
 	}
 	s.dfs()
+}
+
+// cutByBound reports (and records) whether a lower bound lb on the current
+// branch is rejected by a caller-seeded bound — the deadline, or the
+// UpperBound-seeded incumbent before any real schedule was found.
+// Rejections against a *found* incumbent are regular optimality pruning,
+// not bound cuts.
+func (s *searcher) cutByBound(lb int) bool {
+	if lb > s.deadline || (!s.bestSet && lb >= s.best.Makespan) {
+		s.boundCut = true
+		return true
+	}
+	return false
 }
 
 func (s *searcher) record(starts []int, makespan int) {
@@ -596,16 +633,18 @@ func (s *searcher) dfs() {
 	if s.nSched == n {
 		if s.makespan <= s.deadline && s.makespan < s.best.Makespan {
 			s.record(s.starts, s.makespan)
+		} else {
+			s.cutByBound(s.makespan)
 		}
 		return
 	}
 	if s.opts.SatisfyOnly && s.bestSet {
 		return
 	}
-	if lb := s.deviceBound(); lb > s.deadline || lb >= s.best.Makespan {
+	if lb := s.deviceBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
 		return
 	}
-	if lb := s.pathBound(); lb > s.deadline || lb >= s.best.Makespan {
+	if lb := s.pathBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
 		return
 	}
 	if s.memoPrune() {
@@ -645,8 +684,7 @@ func (s *searcher) dfs() {
 				st = s.finish[p]
 			}
 		}
-		if st+s.tasks[t].Time+s.tail[t] > s.deadline ||
-			st+s.tasks[t].Time+s.tail[t] >= s.best.Makespan {
+		if lb := st + s.tasks[t].Time + s.tail[t]; s.cutByBound(lb) || lb >= s.best.Makespan {
 			continue
 		}
 		cands = append(cands, candidate{task: t, start: st})

@@ -637,3 +637,39 @@ func TestSolvePreCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestSolveBoundPruned: an infeasible verdict reached under a seeded
+// incumbent (UpperBound/Deadline) is flagged as bound-relative — pruned,
+// not proven infeasible — while an unbounded infeasibility is not.
+func TestSolveBoundPruned(t *testing.T) {
+	tasks := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 3, Devices: []sched.DeviceID{0}},
+		{ID: sched.Block{Stage: 1}, Time: 4, Devices: []sched.DeviceID{0}},
+	}
+	res := mustSolve(t, tasks, Options{UpperBound: 7, Deadline: 6})
+	if res.Feasible {
+		t.Fatal("bound 6 < optimum 7 should find nothing")
+	}
+	if !res.BoundPruned {
+		t.Fatal("bound-relative infeasibility not flagged as BoundPruned")
+	}
+	res = mustSolve(t, tasks, Options{UpperBound: 8, Deadline: 7})
+	if !res.Feasible || res.Makespan != 7 || res.BoundPruned {
+		t.Fatalf("optimum within bound: %+v", res)
+	}
+	// Genuinely infeasible without any bound: not BoundPruned.
+	tight := []Task{
+		{ID: sched.Block{Stage: 0}, Time: 1, Mem: 2, Devices: []sched.DeviceID{0}},
+		{ID: sched.Block{Stage: 1}, Time: 1, Mem: 2, Devices: []sched.DeviceID{0}},
+	}
+	res = mustSolve(t, tight, Options{Memory: 3})
+	if res.Feasible || res.BoundPruned {
+		t.Fatalf("memory infeasibility must not be BoundPruned: %+v", res)
+	}
+	// Absolute infeasibility with a slack bound that never cuts anything:
+	// still not BoundPruned — the verdict is not bound-relative.
+	res = mustSolve(t, tight, Options{Memory: 3, UpperBound: 100, Deadline: 99})
+	if res.Feasible || res.BoundPruned {
+		t.Fatalf("slack bound must not relabel absolute infeasibility: %+v", res)
+	}
+}

@@ -234,6 +234,12 @@ func ExtendContext(ctx context.Context, res *SearchResult, n int, opts SearchOpt
 // identity of a search request.
 var Fingerprint = sched.Fingerprint
 
+// FingerprintSchedule returns the canonical SHA-256 fingerprint of a
+// schedule (placement plus every start time). Search results are
+// deterministic for any Workers setting, so equal requests yield equal
+// schedule fingerprints — the property the serving cache relies on.
+var FingerprintSchedule = sched.FingerprintSchedule
+
 // Serving engine (see internal/engine): a concurrency-safe front-end over
 // SearchContext that fingerprints placements, caches searched repetends in
 // an LRU, serves repeat requests for any micro-batch count via Extend
@@ -255,6 +261,10 @@ var NewEngine = engine.New
 // ErrSearchPanic marks an Engine.Search that failed with a recovered panic
 // — a server bug, not a bad request.
 var ErrSearchPanic = engine.ErrSearchPanic
+
+// ErrInvalidRequest marks an Engine.Search rejected for an invalid
+// placement or option values — a client error (400), not a search failure.
+var ErrInvalidRequest = engine.ErrInvalidRequest
 
 // DefaultEngineCacheSize is the engine's cache capacity when
 // EngineOptions.CacheSize is zero.
