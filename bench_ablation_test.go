@@ -80,11 +80,25 @@ func solverTasks(b *testing.B, n int) []solver.Task {
 func benchSolve(b *testing.B, opts solver.Options) {
 	b.Helper()
 	tasks := solverTasks(b, 4)
+	b.ReportAllocs()
+	var nodes int64
 	for i := 0; i < b.N; i++ {
 		res, err := solver.Solve(context.Background(), tasks, opts)
 		if err != nil || !res.Feasible {
 			b.Fatalf("res=%+v err=%v", res, err)
 		}
+		nodes += res.Nodes
+	}
+	reportNodeThroughput(b, nodes)
+}
+
+// reportNodeThroughput attaches the solver's budget-independent speed
+// measure — branch-and-bound nodes per second — to a benchmark.
+func reportNodeThroughput(b *testing.B, nodes int64) {
+	b.Helper()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(nodes)/sec, "nodes/s")
+		b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
 	}
 }
 
@@ -98,22 +112,51 @@ func BenchmarkAblationSolverNoSymmetry(b *testing.B) {
 	benchSolve(b, solver.Options{DisableSymmetry: true})
 }
 
-// BenchmarkAblationSolverNoMemo disables dominance memoization.
+// BenchmarkAblationSolverNoMemo disables dominance memoization. Without
+// the memo the v-shape instance's search tree explodes (the solve runs
+// minutes, not milliseconds), so the solve is node-capped and the
+// comparison against BenchmarkAblationSolverFull is the nodes/s metric
+// plus the nodes/op blow-up, not wall time to optimality.
 func BenchmarkAblationSolverNoMemo(b *testing.B) {
-	benchSolve(b, solver.Options{DisableMemo: true})
+	benchSolve(b, solver.Options{DisableMemo: true, MaxNodes: 200000})
 }
 
 // BenchmarkSolverScaling shows the exponential growth of the exact solve
 // with micro-batch count — the Figure 3 effect at benchmark granularity.
+// Besides wall time it reports nodes/s, the node-throughput measure the
+// allocation-free solver core is tuned for.
 func BenchmarkSolverScaling(b *testing.B) {
 	for _, n := range []int{2, 4, 6} {
 		tasks := solverTasks(b, n)
 		b.Run(map[int]string{2: "nmb2", 4: "nmb4", 6: "nmb6"}[n], func(b *testing.B) {
+			b.ReportAllocs()
+			var nodes int64
 			for i := 0; i < b.N; i++ {
-				if _, err := solver.Solve(context.Background(), tasks, solver.Options{}); err != nil {
+				res, err := solver.Solve(context.Background(), tasks, solver.Options{})
+				if err != nil {
 					b.Fatal(err)
 				}
+				nodes += res.Nodes
 			}
+			reportNodeThroughput(b, nodes)
 		})
+	}
+}
+
+// BenchmarkSolverReuse contrasts a pooled searcher (the steady state of a
+// repetend sweep: zero allocations per solve) with the package-level Solve
+// on the same instance.
+func BenchmarkSolverReuse(b *testing.B) {
+	tasks := solverTasks(b, 2)
+	pool := solver.NewPool()
+	if _, err := pool.Solve(context.Background(), tasks, solver.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Solve(context.Background(), tasks, solver.Options{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

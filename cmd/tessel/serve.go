@@ -87,9 +87,15 @@ type searchStatsJSON struct {
 	Pruned      int   `json:"pruned"`
 	Improved    int   `json:"improved"`
 	SolverNodes int64 `json:"solver_nodes"`
-	EarlyExit   bool  `json:"early_exit"`
-	Truncated   bool  `json:"truncated"`
-	TotalMS     int64 `json:"total_ms"`
+	// MemoHits is the number of solver nodes pruned by the dominance memo
+	// across the repetend instance solves.
+	MemoHits int64 `json:"memo_hits"`
+	// NodesPerSec is the repetend-phase solver node throughput — the
+	// serving-side health measure of the allocation-free solver core.
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	EarlyExit   bool    `json:"early_exit"`
+	Truncated   bool    `json:"truncated"`
+	TotalMS     int64   `json:"total_ms"`
 }
 
 type errorResponse struct {
@@ -274,6 +280,8 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Pruned:      res.Stats.Pruned,
 			Improved:    res.Stats.Improved,
 			SolverNodes: res.Stats.SolverNodes,
+			MemoHits:    res.Stats.SolverMemoHits,
+			NodesPerSec: res.Stats.NodesPerSec(),
 			EarlyExit:   res.Stats.EarlyExit,
 			Truncated:   res.Stats.Truncated,
 			TotalMS:     res.Stats.Total.Milliseconds(),

@@ -69,6 +69,13 @@ func TestServeSearchEndToEnd(t *testing.T) {
 	if first.N != 8 || first.Makespan <= 0 || first.Fingerprint == "" {
 		t.Fatalf("first response: %+v", first)
 	}
+	// The solver-effort counters must be populated for a cold search.
+	if first.Stats.SolverNodes <= 0 || first.Stats.NodesPerSec <= 0 {
+		t.Fatalf("solver stats not populated: %+v", first.Stats)
+	}
+	if first.Stats.MemoHits < 0 || first.Stats.MemoHits > first.Stats.SolverNodes {
+		t.Fatalf("memo hits out of range: %+v", first.Stats)
+	}
 	// The embedded schedule must round-trip through the decoder.
 	sched, err := tessel.DecodeSchedule(bytes.NewReader(first.Schedule))
 	if err != nil {

@@ -111,6 +111,10 @@ type Stats struct {
 	// the repetend instance solves — the budget-independent measure of
 	// sweep effort that incumbent pruning is meant to shrink.
 	SolverNodes int64
+	// SolverMemoHits is the number of those nodes pruned by the solver's
+	// dominance memo, the per-search effectiveness measure of the
+	// arena-backed memoization.
+	SolverMemoHits int64
 	// EarlyExit is true when the search hit the device-work lower bound and
 	// stopped (Algorithm 1 lines 19–20).
 	EarlyExit bool
@@ -125,6 +129,16 @@ type Stats struct {
 	Phase PhaseDurations
 	// Total is the wall-clock search time.
 	Total time.Duration
+}
+
+// NodesPerSec is the repetend-phase solver node throughput: branch-and-
+// bound nodes expanded per second of repetend-solve wall time. Zero when
+// no repetend solve ran.
+func (s Stats) NodesPerSec() float64 {
+	if s.Phase.Repetend <= 0 {
+		return 0
+	}
+	return float64(s.SolverNodes) / s.Phase.Repetend.Seconds()
 }
 
 // Result is a completed Tessel search.
@@ -219,21 +233,26 @@ func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, err
 	}
 
 	st := &sweepState{}
+	// One searcher pool and one instance-solve cache for the whole search:
+	// the pool recycles solver state (task graphs, frontier buffers, memo
+	// arenas) across the sweep's hundreds of instance solves and the
+	// completion solves; the cache lets assignments that share a lag-zero
+	// pattern (across workers and N_R rounds) pay the branch-and-bound
+	// makespan solve once.
+	pool := solver.NewPool()
 	repOpts := repetend.SolveOptions{
 		Memory:             opts.Memory,
 		SolverNodes:        opts.SolverNodes,
 		SolverTimeout:      opts.SolverTimeout,
 		SimpleCompaction:   opts.SimpleCompaction,
 		DisableLocalSearch: opts.DisableLocalSearch,
-		// One instance-solve cache for the whole search: assignments that
-		// share a lag-zero pattern (across workers and N_R rounds) pay the
-		// branch-and-bound makespan solve once.
-		Cache: repetend.NewSolveCache(),
+		Pool:               pool,
+		Cache:              repetend.NewSolveCache(),
 	}
 
 	for nr := 1; nr <= maxNR; nr++ {
 		res.Stats.NRSwept = nr
-		if err := sweepNR(ctx, p, nr, st, repOpts, opts, res); err != nil {
+		if err := sweepNR(ctx, p, nr, st, repOpts, opts, pool, res); err != nil {
 			return nil, err
 		}
 		if err := ctx.Err(); err != nil {
@@ -272,7 +291,7 @@ func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, err
 		n = 3 * best.NR
 	}
 	res.N = n
-	if err := completeSchedule(ctx, res, best, n, opts); err != nil {
+	if err := completeSchedule(ctx, res, best, n, opts, pool); err != nil {
 		return nil, err
 	}
 	res.Makespan = res.Full.Makespan()
@@ -332,7 +351,7 @@ type solveOutcome struct {
 //
 // Cancelling ctx stops the producer and every worker: in-flight solves
 // abort at their next context poll and sweepNR returns ctx's error.
-func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, repOpts repetend.SolveOptions, opts Options, res *Result) error {
+func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, repOpts repetend.SolveOptions, opts Options, pool *solver.Pool, res *Result) error {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -342,6 +361,7 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 		solved    atomic.Int64
 		pruned    atomic.Int64
 		nodes     atomic.Int64
+		memoHits  atomic.Int64
 		truncSlv  atomic.Bool
 		repNanos  atomic.Int64
 		assignCh  = make(chan assignTask, 4*workers)
@@ -410,6 +430,7 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 				}
 				solved.Add(1)
 				nodes.Add(r.SolverNodes)
+				memoHits.Add(r.SolverMemoHits)
 				if r.Truncated {
 					truncSlv.Store(true)
 				}
@@ -440,7 +461,7 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 				return
 			}
 		}
-		ok, err := checkCompletion(ctx, p, r, opts, &res.Stats)
+		ok, err := checkCompletion(ctx, p, r, opts, pool, &res.Stats)
 		if err != nil {
 			firstErr = err
 			done = true
@@ -476,6 +497,7 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 	res.Stats.Solved += int(solved.Load())
 	res.Stats.Pruned += int(pruned.Load())
 	res.Stats.SolverNodes += nodes.Load()
+	res.Stats.SolverMemoHits += memoHits.Load()
 	res.Stats.Phase.Repetend += time.Duration(repNanos.Load())
 	if truncated || truncSlv.Load() {
 		res.Stats.Truncated = true
@@ -510,7 +532,7 @@ func Extend(ctx context.Context, res *Result, n int, opts Options) (*Result, err
 		BubbleRate: res.BubbleRate,
 		N:          n,
 	}
-	if err := completeSchedule(ctx, out, res.Repetend, n, opts); err != nil {
+	if err := completeSchedule(ctx, out, res.Repetend, n, opts, nil); err != nil {
 		return nil, err
 	}
 	out.Makespan = out.Full.Makespan()
@@ -544,7 +566,7 @@ func cooldownBlocks(p *sched.Placement, a repetend.Assignment, reps, n int) []sc
 // it only asks the solver whether valid warmup and cooldown schedules exist
 // (satisfiability); otherwise it solves them time-optimally — the two modes
 // of §V.
-func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repetend, opts Options, stats *Stats) (bool, error) {
+func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repetend, opts Options, pool *solver.Pool, stats *Stats) (bool, error) {
 	warm := warmupBlocks(p, r.Assign)
 	cool := cooldownBlocks(p, r.Assign, 1, r.NR)
 	solveOpts := solver.Options{
@@ -555,7 +577,7 @@ func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repete
 		SatisfyOnly: !opts.DisableLazy,
 	}
 	t0 := time.Now()
-	warmOK, warmTrunc, err := phaseFeasible(ctx, p, warm, nil, nil, solveOpts)
+	warmOK, warmTrunc, err := phaseFeasible(ctx, p, warm, nil, nil, solveOpts, pool)
 	stats.Phase.Warmup += time.Since(t0)
 	if warmTrunc {
 		stats.Truncated = true
@@ -571,7 +593,7 @@ func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repete
 		}
 	}
 	t1 := time.Now()
-	coolOK, coolTrunc, err := phaseFeasible(ctx, p, cool, initMem, nil, solveOpts)
+	coolOK, coolTrunc, err := phaseFeasible(ctx, p, cool, initMem, nil, solveOpts, pool)
 	stats.Phase.Cooldown += time.Since(t1)
 	if coolTrunc {
 		stats.Truncated = true
@@ -585,7 +607,7 @@ func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repete
 // phaseFeasible reports whether the blocks admit a valid phase schedule.
 // truncated is true when the verdict was reached after a solver budget ran
 // out, so a false answer is budget-degraded rather than proven.
-func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options) (ok, truncated bool, err error) {
+func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options, pool *solver.Pool) (ok, truncated bool, err error) {
 	if len(blocks) == 0 {
 		return true, false, nil
 	}
@@ -595,7 +617,7 @@ func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block
 	}
 	opts.InitialMem = initMem
 	opts.DeviceReady = deviceReady
-	res, err := solver.Solve(ctx, tasks, opts)
+	res, err := pool.Solve(ctx, tasks, opts)
 	if err != nil {
 		return false, false, err
 	}
@@ -605,7 +627,7 @@ func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block
 // complete builds the final N-micro-batch schedule around the repetend:
 // time-optimal warmup, R = N − N_R + 1 unrolled instances compacted against
 // the warmup, and a time-optimal cooldown released by repetend finishes.
-func completeSchedule(ctx context.Context, res *Result, r *repetend.Repetend, n int, opts Options) error {
+func completeSchedule(ctx context.Context, res *Result, r *repetend.Repetend, n int, opts Options, pool *solver.Pool) error {
 	p := res.Placement
 	if n < r.NR {
 		return completeDirect(ctx, res, n, opts)
@@ -615,7 +637,7 @@ func completeSchedule(ctx context.Context, res *Result, r *repetend.Repetend, n 
 	// Warmup: time-optimal solve from t=0.
 	warmStart := time.Now()
 	warm := warmupBlocks(p, r.Assign)
-	warmSched, warmFinish, err := solvePhase(ctx, p, warm, nil, nil, nil, opts, &res.Stats)
+	warmSched, warmFinish, err := solvePhase(ctx, p, warm, nil, nil, nil, opts, pool, &res.Stats)
 	res.Stats.Phase.Warmup += time.Since(warmStart)
 	if err != nil {
 		return fmt.Errorf("warmup: %w", err)
@@ -711,7 +733,7 @@ func completeSchedule(ctx context.Context, res *Result, r *repetend.Repetend, n 
 			initMem[d] += (r.Assign[i] + reps) * p.Stages[i].Mem
 		}
 	}
-	coolSched, _, err := solvePhase(ctx, p, cool, releases, initMem, deviceReady, opts, &res.Stats)
+	coolSched, _, err := solvePhase(ctx, p, cool, releases, initMem, deviceReady, opts, pool, &res.Stats)
 	res.Stats.Phase.Cooldown += time.Since(coolStart)
 	if err != nil {
 		return fmt.Errorf("cooldown: %w", err)
@@ -747,7 +769,7 @@ func completeDirect(ctx context.Context, res *Result, n int, opts Options) error
 // solvePhase runs a time-optimal solve of the given blocks and returns the
 // schedule plus a finish-time index. A budget-degraded (non-optimal) solve
 // marks stats as truncated.
-func solvePhase(ctx context.Context, p *sched.Placement, blocks []sched.Block, releases map[sched.Block]int, initMem, deviceReady []int, opts Options, stats *Stats) (*sched.Schedule, map[sched.Block]int, error) {
+func solvePhase(ctx context.Context, p *sched.Placement, blocks []sched.Block, releases map[sched.Block]int, initMem, deviceReady []int, opts Options, pool *solver.Pool, stats *Stats) (*sched.Schedule, map[sched.Block]int, error) {
 	if len(blocks) == 0 {
 		return sched.NewSchedule(p), map[sched.Block]int{}, nil
 	}
@@ -755,7 +777,7 @@ func solvePhase(ctx context.Context, p *sched.Placement, blocks []sched.Block, r
 	if err != nil {
 		return nil, nil, err
 	}
-	sres, err := solver.Solve(ctx, tasks, solver.Options{
+	sres, err := pool.Solve(ctx, tasks, solver.Options{
 		NumDevices:  p.NumDevices,
 		Memory:      opts.Memory,
 		InitialMem:  initMem,

@@ -395,3 +395,28 @@ func TestSearchSolverBudgetTruncates(t *testing.T) {
 		t.Fatal("unbudgeted search reported truncation")
 	}
 }
+
+// TestSearchSolverEffortStats: the memo-hit counter and node-throughput
+// accessor must be populated by a pruning-heavy search.
+func TestSearchSolverEffortStats(t *testing.T) {
+	p := shape(t, "m-shape", 4)
+	res, err := Search(context.Background(), p, Options{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SolverNodes == 0 {
+		t.Fatal("SolverNodes not populated")
+	}
+	if res.Stats.SolverMemoHits <= 0 {
+		t.Fatal("SolverMemoHits not populated")
+	}
+	if res.Stats.SolverMemoHits > res.Stats.SolverNodes {
+		t.Fatalf("memo hits %d exceed nodes %d", res.Stats.SolverMemoHits, res.Stats.SolverNodes)
+	}
+	if res.Stats.NodesPerSec() <= 0 {
+		t.Fatalf("NodesPerSec = %f, want > 0", res.Stats.NodesPerSec())
+	}
+	if (Stats{}).NodesPerSec() != 0 {
+		t.Fatal("zero Stats must report zero throughput")
+	}
+}

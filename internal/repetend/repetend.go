@@ -215,6 +215,9 @@ type Repetend struct {
 	// SolverNodes is the number of branch-and-bound nodes the instance
 	// makespan solve expanded.
 	SolverNodes int64
+	// SolverMemoHits is the number of those nodes pruned by the solver's
+	// dominance memo.
+	SolverMemoHits int64
 	// Truncated is true when the instance makespan solve exhausted a node
 	// or wall-clock budget and fell back to its incumbent, so Starts (and
 	// the derived period) are budget-degraded rather than proven optimal.
@@ -241,6 +244,12 @@ type SolveOptions struct {
 	// across a sweep's workers removes most branch-and-bound work. Safe to
 	// share concurrently.
 	Cache *SolveCache
+	// Pool, when non-nil, supplies recycled solver searchers for the
+	// instance makespan solve. A sweep shares one pool across its workers
+	// so its hundreds of solves reuse task-graph, frontier and memo
+	// storage instead of rebuilding them; nil falls back to the solver
+	// package's shared pool. Results are identical either way.
+	Pool *solver.Pool
 	// PeriodUpperBound, when positive, is an incumbent period held by the
 	// caller: only repetends with Period ≤ PeriodUpperBound are useful, and
 	// Solve returns ErrPruned as soon as it proves the assignment cannot
@@ -414,6 +423,7 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 	var (
 		starts      []int
 		nodes       int64
+		memoHits    int64
 		optimal     = true
 		feasible    bool
 		hit         bool
@@ -446,11 +456,13 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 			solveOpts.UpperBound = bound + 1
 			solveOpts.Deadline = bound
 		}
-		res, err := solver.Solve(ctx, instanceTasks(p, a), solveOpts)
+		// A nil Pool falls back to the solver package's shared pool.
+		res, err := opts.Pool.Solve(ctx, instanceTasks(p, a), solveOpts)
 		if err != nil {
 			return nil, err
 		}
-		nodes, optimal, feasible, boundPruned = res.Nodes, res.Optimal, res.Feasible, res.BoundPruned
+		nodes, memoHits = res.Nodes, res.MemoHits
+		optimal, feasible, boundPruned = res.Optimal, res.Feasible, res.BoundPruned
 		if feasible {
 			starts = append([]int(nil), res.Starts...) // stage order
 		}
@@ -471,12 +483,13 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 		return nil, fmt.Errorf("%w: %s", verdict, detail)
 	}
 	r := &Repetend{
-		P:           p,
-		Assign:      a.Clone(),
-		NR:          maxOf(a) + 1,
-		EntryMem:    entry,
-		SolverNodes: nodes,
-		Truncated:   !optimal,
+		P:              p,
+		Assign:         a.Clone(),
+		NR:             maxOf(a) + 1,
+		EntryMem:       entry,
+		SolverNodes:    nodes,
+		SolverMemoHits: memoHits,
+		Truncated:      !optimal,
 	}
 	normalize(starts)
 	r.SimplePeriod = makespanOf(p, starts)

@@ -9,6 +9,7 @@ import (
 
 	"tessel/internal/placement"
 	"tessel/internal/sched"
+	"tessel/internal/solver"
 )
 
 func vshape(t *testing.T, d int) *sched.Placement {
@@ -518,6 +519,38 @@ func TestAssignmentCompare(t *testing.T) {
 		}
 		if got := c.b.Compare(c.a); got != -c.want {
 			t.Fatalf("Compare(%v,%v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+// TestSolvePoolMatchesDefault: threading an explicit searcher pool through
+// SolveOptions must not change any output — only the allocation behavior.
+func TestSolvePoolMatchesDefault(t *testing.T) {
+	p := vshape(t, 4)
+	pool := solver.NewPool()
+	for nr := 1; nr <= 4; nr++ {
+		_, err := Enumerate(p, nr, func(a Assignment) bool {
+			base, err1 := Solve(context.Background(), p, a, SolveOptions{Memory: 4})
+			pooled, err2 := Solve(context.Background(), p, a, SolveOptions{Memory: 4, Pool: pool})
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("assign %v: err mismatch %v vs %v", a, err1, err2)
+			}
+			if err1 != nil {
+				return true
+			}
+			if base.Period != pooled.Period || base.SimplePeriod != pooled.SimplePeriod ||
+				base.SolverNodes != pooled.SolverNodes || base.SolverMemoHits != pooled.SolverMemoHits {
+				t.Fatalf("assign %v: base=%+v pooled=%+v", a, base, pooled)
+			}
+			for i := range base.Starts {
+				if base.Starts[i] != pooled.Starts[i] {
+					t.Fatalf("assign %v: starts differ at stage %d", a, i)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -14,13 +14,43 @@
 // counts blocks with s_B < τ), per-device memory feasibility depends only on
 // the start order of blocks on the device, so earliest-start replay of any
 // feasible schedule's start order is itself feasible with no larger
-// makespan. Enumerating all orders is therefore complete. Pruning uses
+// makespan. Enumerating all orders is therefore complete.
 //
-//   - device-load and critical-path lower bounds,
-//   - Pareto-dominance memoization over (scheduled-set, device availability,
-//     frontier finish times), and
-//   - the micro-batch symmetry of Property 4.1 (same-stage blocks may start
-//     in increasing micro order without loss of optimality).
+// The search loop is built for node throughput — its steady state performs
+// no heap allocations:
+//
+//   - the eligible-task frontier is maintained *incrementally*: apply/undo
+//     update a swap-remove frontier list on predecessor-count transitions
+//     and Property 4.1 symmetry unlocks, instead of rescanning all tasks at
+//     every node;
+//   - candidates are ordered by an in-place insertion sort over a pooled
+//     per-depth buffer (no sort.Slice closure per node);
+//   - lower bounds run cheapest-first: device loads, the running maximum of
+//     finish+tail over scheduled tasks (maintained in apply/undo), and a
+//     static whole-instance critical-path bound computed once per solve are
+//     consulted before the full critical-path bound, which itself walks
+//     only the remaining tasks via an incrementally maintained topo-order
+//     list;
+//   - dominance memoization over (scheduled set, device availability,
+//     finish times of scheduled tasks that still have *unscheduled*
+//     successors) lives in an open-addressed table whose vectors are stored
+//     in a growable arena (memo.go) and which resets by generation counter,
+//     not reallocation. Restricting the state to components that can still
+//     constrain a future start — a task whose successors are all scheduled
+//     cannot — keeps the dominance sound while making it strictly stronger
+//     than comparing every scheduled finish, which is what lets instances
+//     that previously exhausted node budgets solve to proven optimality;
+//   - searchers are recycled through a Pool (pool.go), so the hundreds of
+//     instance solves of a repetend sweep stop rebuilding task graphs,
+//     successor lists and memo tables from scratch.
+//
+// Pruning uses device-load and critical-path lower bounds, the dominance
+// memo, and the micro-batch symmetry of Property 4.1 (same-stage blocks may
+// start in increasing micro order without loss of optimality). Dominance
+// pruning selects among equally-optimal schedules, so strengthening it can
+// change which optimal start vector a solve returns (never its makespan,
+// feasibility, or optimality verdicts); searches remain deterministic and
+// worker-count independent.
 //
 // The problem is NP-hard (§III-B); the solver therefore accepts node and
 // wall-clock budgets and reports whether the returned result is proven
@@ -31,19 +61,19 @@
 //
 // Solve takes a context.Context and is the single point the whole search
 // stack relies on for cancellation: the context's Done channel is polled
-// every few hundred search nodes (a node costs on the order of a
-// microsecond), so cancelling or exceeding the context deadline makes Solve
-// return ctx's error promptly. A context cancellation is a hard stop and
-// surfaces as an error; the per-call soft budgets (MaxNodes, Timeout) are
-// different in kind — exhausting them returns the best incumbent found so
-// far with Optimal=false and no error.
+// every few hundred search nodes (a node costs well under a microsecond),
+// so cancelling or exceeding the context deadline makes Solve return ctx's
+// error promptly. A context cancellation is a hard stop and surfaces as an
+// error; the per-call soft budgets (MaxNodes, Timeout) are different in
+// kind — exhausting them returns the best incumbent found so far with
+// Optimal=false and no error.
 package solver
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 	"time"
 
 	"tessel/internal/sched"
@@ -137,8 +167,25 @@ type Result struct {
 	Starts []int
 	// Nodes is the number of search nodes expanded.
 	Nodes int64
+	// MemoHits is the number of nodes pruned by the dominance memo — the
+	// per-solve effectiveness measure of the memoization.
+	MemoHits int64
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
+}
+
+type candidate struct {
+	task  int
+	start int
+}
+
+// frame is the per-depth scratch of one dfs level: the candidate buffer and
+// the saved device-availability snapshot of the candidate being explored.
+// Frames are indexed by depth (= nSched) and reused across the whole solve
+// — and, through the searcher pool, across solves.
+type frame struct {
+	cands []candidate
+	saved []int
 }
 
 type searcher struct {
@@ -146,13 +193,41 @@ type searcher struct {
 	tasks []Task
 	opts  Options
 	d     int // device count
+	n     int // task count
 
-	succs    [][]int // successor task indices
+	// Static task-graph structure, rebuilt per solve into reused buffers.
+	// Hot per-task scalars are flattened out of the Task structs and the
+	// adjacency lists stored in CSR form, so the inner loops walk dense
+	// int slices instead of chasing struct fields.
+	time     []int
+	release  []int
+	mem      []int
+	succOff  []int32 // CSR offsets into succList, len n+1
+	succList []int32 // successor task indices, grouped by predecessor
+	succCur  []int32 // CSR fill cursor (reset scratch)
+	predOff  []int32 // CSR offsets into predList, len n+1
+	predList []int32
+	devOff   []int32 // CSR offsets into devList, len n+1
+	devList  []int32 // device ids per task
 	npred    []int   // predecessor counts
 	tail     []int   // longest duration path through successors (excl. self)
 	symPred  []int   // Property 4.1: same-stage task with next-smaller micro, or -1
+	symSucc  []int   // inverse of symPred, or -1
+	symOrder []int   // (stage, micro, index)-sorted task ids (reset scratch)
 	topo     []int   // topological order of tasks
-	remWork  []int   // per-device remaining duration of unscheduled tasks
+	topoPos  []int32 // task -> position in topo
+	indeg    []int   // Kahn scratch
+	hasSucc  []bool
+	est      []int // critical-path scratch (pathBound)
+	staticLB int   // critical-path lower bound over the whole instance
+
+	// Doubly-linked list of *unscheduled* topo positions (sentinel at n),
+	// maintained by apply/undo so pathBound walks only the remaining tasks.
+	topoNext []int32
+	topoPrev []int32
+
+	// Dynamic search state, saved/restored incrementally by apply/undo.
+	remWork  []int // per-device remaining duration of unscheduled tasks
 	devAvail []int
 	devMem   []int
 	finish   []int // per task; -1 while unscheduled
@@ -161,40 +236,76 @@ type searcher struct {
 	predLeft []int // unscheduled predecessor count
 	nSched   int
 	makespan int
+	maxTail  int // max finish[t]+tail[t] over scheduled tasks
 
-	hasSucc []bool
-
-	best      Result
-	bestSet   bool
-	deadline  int
-	nodes     int64
-	boundCut  bool // a caller-seeded UpperBound/Deadline rejected a branch
-	truncated bool
-	cancelled bool
-	startTime time.Time
-	deadlineT time.Time
-	hasWallDL bool
-
-	memo64   map[uint64][][]int32 // used when the task set fits one word
-	memoStr  map[string][][]int32 // fallback for >64 tasks
-	memoSize int
+	// frontier holds exactly the eligible tasks: unscheduled, all
+	// predecessors scheduled, symmetry-unlocked. frontPos is each task's
+	// index in frontier (-1 when absent); removal swaps with the last
+	// element, so membership updates are O(1).
+	frontier []int32
+	frontPos []int32
 
 	maskWords int
 	mask      []uint64
+	// liveMask marks tasks whose finish belongs in the dominance state:
+	// scheduled with at least one *unscheduled* successor. A task whose
+	// successors are all scheduled cannot constrain any future start, so
+	// dropping its component keeps dominance sound while shortening
+	// vectors and strictly strengthening the pruning. (For a fixed
+	// scheduled-set mask the live set is a function of the mask, so
+	// per-key vector layouts stay aligned.)
+	liveMask    []uint64
+	succUnsched []int32 // per task: number of unscheduled successors
 
-	est        []int   // scratch for critical-path bound
-	vecScratch []int32 // scratch for dominance probes
-	candPool   [][]candidate
+	memo        memoTable
+	memoHits    int64
+	vecScratch  []uint64 // scratch for packed dominance probes
+	sketchShift uint     // quantization shift for the memo sketch buckets
+	// buckets holds the 8 partial sums of the dominance state (device
+	// availabilities bucketed by dev&7, finishes of scheduled tasks with
+	// successors by (d+task)&7), maintained incrementally by apply/undo so
+	// a probe derives its sum and sketch without re-accumulating.
+	buckets [8]int64
+
+	frames []frame // per-depth candidate + saved-avail buffers
+
+	// Greedy-dispatch scratch (greedy runs once per solve; reusing these
+	// keeps the warm-start allocation-free too).
+	gSched    []bool
+	gPredLeft []int
+	gAvail    []int
+	gMem      []int
+	gFinish   []int
+	gStarts   []int
+
+	best       Result
+	bestStarts []int // incumbent start times, reused across improvements
+	bestSet    bool
+	deadline   int
+	nodes      int64
+	boundCut   bool // a caller-seeded UpperBound/Deadline rejected a branch
+	truncated  bool
+	cancelled  bool
+	startTime  time.Time
+	deadlineT  time.Time
+	hasWallDL  bool
 }
-
-const memoCap = 1 << 18
 
 // Solve finds a schedule for the given tasks under opts. It never panics on
 // well-formed input; malformed input (bad indices, non-positive durations)
 // returns a zero Result and an error. Cancelling ctx (or passing one whose
 // deadline has passed) aborts the solve promptly and returns ctx's error
 // alongside the best incumbent found before the abort.
+//
+// Solve draws its searcher from a package-level Pool, so back-to-back
+// solves reuse the task-graph, frontier, and memo storage of earlier ones.
 func Solve(ctx context.Context, tasks []Task, opts Options) (Result, error) {
+	return defaultPool.Solve(ctx, tasks, opts)
+}
+
+// solve runs one full solve on this searcher, re-initializing every piece
+// of state. It is the engine behind Solve and Pool.Solve.
+func (s *searcher) solve(ctx context.Context, tasks []Task, opts Options) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -204,12 +315,13 @@ func Solve(ctx context.Context, tasks []Task, opts Options) (Result, error) {
 	if len(tasks) == 0 {
 		return Result{Feasible: true, Optimal: true}, nil
 	}
-	s, err := newSearcher(ctx, tasks, opts)
-	if err != nil {
+	if err := s.reset(ctx, tasks, opts); err != nil {
+		s.releaseRefs()
 		return Result{}, err
 	}
 	s.run()
 	s.best.Nodes = s.nodes
+	s.best.MemoHits = s.memoHits
 	s.best.Elapsed = time.Since(s.startTime)
 	s.best.Optimal = s.bestSet && !s.truncated && !(opts.SatisfyOnly)
 	if opts.SatisfyOnly && s.bestSet {
@@ -228,25 +340,67 @@ func Solve(ctx context.Context, tasks []Task, opts Options) (Result, error) {
 		// reported as such even when a bound was passed.
 		s.best.BoundPruned = true
 	}
-	if s.cancelled {
-		s.best.Optimal = false
-		return s.best, ctx.Err()
+	if s.bestSet {
+		// The incumbent lives in reused scratch; hand the caller a copy it
+		// owns (the single steady-state allocation of a solve).
+		s.best.Starts = append([]int(nil), s.bestStarts...)
 	}
-	return s.best, nil
+	res := s.best
+	s.releaseRefs()
+	s.best = Result{}
+	if s.cancelled {
+		res.Optimal = false
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
-func newSearcher(ctx context.Context, tasks []Task, opts Options) (*searcher, error) {
+// releaseRefs drops every reference a searcher holds into caller memory —
+// the context, the task slice (with its device and predecessor lists), and
+// the option slices — so a pooled searcher does not pin them until its
+// next use. Called on every solve exit path, including reset failures.
+func (s *searcher) releaseRefs() {
+	s.ctx, s.tasks = nil, nil
+	s.opts = Options{}
+}
+
+// --- buffer reuse helpers --------------------------------------------------
+
+func intsN(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func int32sN(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func boolsN(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// reset validates the input and rebuilds every searcher structure for it,
+// reusing the buffers of previous solves wherever capacities allow.
+func (s *searcher) reset(ctx context.Context, tasks []Task, opts Options) error {
 	d := opts.NumDevices
 	for i := range tasks {
 		if tasks[i].Time <= 0 {
-			return nil, fmt.Errorf("task %d: non-positive duration %d", i, tasks[i].Time)
+			return fmt.Errorf("task %d: non-positive duration %d", i, tasks[i].Time)
 		}
 		if len(tasks[i].Devices) == 0 {
-			return nil, fmt.Errorf("task %d: no devices", i)
+			return fmt.Errorf("task %d: no devices", i)
 		}
 		for _, dev := range tasks[i].Devices {
 			if dev < 0 {
-				return nil, fmt.Errorf("task %d: negative device %d", i, dev)
+				return fmt.Errorf("task %d: negative device %d", i, dev)
 			}
 			if int(dev)+1 > d {
 				d = int(dev) + 1
@@ -254,11 +408,12 @@ func newSearcher(ctx context.Context, tasks []Task, opts Options) (*searcher, er
 		}
 		for _, p := range tasks[i].Preds {
 			if p < 0 || p >= len(tasks) || p == i {
-				return nil, fmt.Errorf("task %d: bad predecessor index %d", i, p)
+				return fmt.Errorf("task %d: bad predecessor index %d", i, p)
 			}
 		}
 	}
-	s := &searcher{ctx: ctx, tasks: tasks, opts: opts, d: d}
+	n := len(tasks)
+	s.ctx, s.tasks, s.opts, s.d, s.n = ctx, tasks, opts, d, n
 	if opts.Memory == 0 {
 		s.opts.Memory = Unbounded
 	}
@@ -266,115 +421,262 @@ func newSearcher(ctx context.Context, tasks []Task, opts Options) (*searcher, er
 	if s.deadline <= 0 {
 		s.deadline = Unbounded
 	}
-	n := len(tasks)
-	s.succs = make([][]int, n)
-	s.npred = make([]int, n)
+
+	// Flatten the hot per-task scalars and store predecessor, successor and
+	// device lists in CSR form.
+	s.time = intsN(s.time, n)
+	s.release = intsN(s.release, n)
+	s.mem = intsN(s.mem, n)
+	s.npred = intsN(s.npred, n)
+	s.succOff = int32sN(s.succOff, n+1)
+	s.predOff = int32sN(s.predOff, n+1)
+	s.devOff = int32sN(s.devOff, n+1)
+	s.succCur = int32sN(s.succCur, n)
+	edges, devRefs := 0, 0
+	for i := range tasks {
+		s.time[i] = tasks[i].Time
+		s.release[i] = tasks[i].Release
+		s.mem[i] = tasks[i].Mem
+		s.npred[i] = len(tasks[i].Preds)
+		edges += len(tasks[i].Preds)
+		devRefs += len(tasks[i].Devices)
+	}
+	s.predOff[0], s.devOff[0] = 0, 0
+	for i := range tasks {
+		s.predOff[i+1] = s.predOff[i] + int32(len(tasks[i].Preds))
+		s.devOff[i+1] = s.devOff[i] + int32(len(tasks[i].Devices))
+	}
+	s.predList = int32sN(s.predList, edges)
+	s.devList = int32sN(s.devList, devRefs)
+	for i := range tasks {
+		off := s.predOff[i]
+		for j, p := range tasks[i].Preds {
+			s.predList[off+int32(j)] = int32(p)
+		}
+		off = s.devOff[i]
+		for j, dev := range tasks[i].Devices {
+			s.devList[off+int32(j)] = int32(dev)
+		}
+	}
+	clear(s.succCur[:n])
 	for i := range tasks {
 		for _, p := range tasks[i].Preds {
-			s.succs[p] = append(s.succs[p], i)
-			s.npred[i]++
+			s.succCur[p]++
 		}
 	}
-	// Topological order (also detects cycles).
-	indeg := append([]int(nil), s.npred...)
-	var queue []int
+	s.succOff[0] = 0
 	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			queue = append(queue, i)
+		s.succOff[i+1] = s.succOff[i] + s.succCur[i]
+	}
+	s.succList = int32sN(s.succList, edges)
+	copy(s.succCur, s.succOff[:n])
+	for i := range tasks {
+		for _, p := range tasks[i].Preds {
+			s.succList[s.succCur[p]] = int32(i)
+			s.succCur[p]++
 		}
 	}
-	for len(queue) > 0 {
-		sort.Ints(queue)
-		u := queue[0]
-		queue = queue[1:]
-		s.topo = append(s.topo, u)
-		for _, v := range s.succs[u] {
-			indeg[v]--
-			if indeg[v] == 0 {
-				queue = append(queue, v)
+	s.hasSucc = boolsN(s.hasSucc, n)
+	for i := 0; i < n; i++ {
+		s.hasSucc[i] = s.succOff[i+1] > s.succOff[i]
+	}
+
+	// Topological order (Kahn; also detects cycles).
+	s.topo = intsN(s.topo, n)[:0]
+	s.indeg = intsN(s.indeg, n)
+	copy(s.indeg, s.npred)
+	for i := 0; i < n; i++ {
+		if s.indeg[i] == 0 {
+			s.topo = append(s.topo, i)
+		}
+	}
+	for head := 0; head < len(s.topo); head++ {
+		u := s.topo[head]
+		for _, v := range s.succList[s.succOff[u]:s.succOff[u+1]] {
+			s.indeg[v]--
+			if s.indeg[v] == 0 {
+				s.topo = append(s.topo, int(v))
 			}
 		}
 	}
 	if len(s.topo) != n {
-		return nil, fmt.Errorf("dependency graph has a cycle")
+		return fmt.Errorf("dependency graph has a cycle")
 	}
+
 	// Tail lengths: longest duration path strictly below each task.
-	s.tail = make([]int, n)
+	s.tail = intsN(s.tail, n)
+	clear(s.tail)
 	for idx := n - 1; idx >= 0; idx-- {
 		u := s.topo[idx]
-		for _, v := range s.succs[u] {
-			if t := s.tasks[v].Time + s.tail[v]; t > s.tail[u] {
+		for _, v := range s.succList[s.succOff[u]:s.succOff[u+1]] {
+			if t := s.time[v] + s.tail[v]; t > s.tail[u] {
 				s.tail[u] = t
 			}
 		}
 	}
-	// Property 4.1 chains: for each stage, order tasks by micro.
-	s.symPred = make([]int, n)
-	for i := range s.symPred {
+
+	// Unscheduled-task list in topo order: topoPos maps tasks to positions,
+	// position n is the sentinel. pathBound walks this list, so its cost
+	// tracks the number of *remaining* tasks, not n.
+	s.topoPos = int32sN(s.topoPos, n)
+	for idx, u := range s.topo {
+		s.topoPos[u] = int32(idx)
+	}
+	s.topoNext = int32sN(s.topoNext, n+1)
+	s.topoPrev = int32sN(s.topoPrev, n+1)
+	for i := 0; i <= n; i++ {
+		s.topoNext[i] = int32((i + 1) % (n + 1))
+		s.topoPrev[i] = int32((i + n) % (n + 1))
+	}
+
+	// Property 4.1 chains: within each stage, link tasks in micro order.
+	// Sorting by (stage, micro, index) groups stages contiguously; an
+	// insertion sort into a reused buffer keeps this allocation-free.
+	s.symPred = intsN(s.symPred, n)
+	s.symSucc = intsN(s.symSucc, n)
+	for i := 0; i < n; i++ {
 		s.symPred[i] = -1
+		s.symSucc[i] = -1
 	}
 	if !opts.DisableSymmetry {
-		byStage := map[int][]int{}
-		for i := range tasks {
-			byStage[tasks[i].ID.Stage] = append(byStage[tasks[i].ID.Stage], i)
+		s.symOrder = intsN(s.symOrder, n)
+		for i := 0; i < n; i++ {
+			s.symOrder[i] = i
 		}
-		for _, group := range byStage {
-			sort.Slice(group, func(a, b int) bool {
-				return tasks[group[a]].ID.Micro < tasks[group[b]].ID.Micro
-			})
-			for k := 1; k < len(group); k++ {
-				if tasks[group[k]].ID.Micro != tasks[group[k-1]].ID.Micro {
-					s.symPred[group[k]] = group[k-1]
-				}
+		less := func(a, b int) bool {
+			sa, sb := tasks[a].ID.Stage, tasks[b].ID.Stage
+			if sa != sb {
+				return sa < sb
+			}
+			ma, mb := tasks[a].ID.Micro, tasks[b].ID.Micro
+			if ma != mb {
+				return ma < mb
+			}
+			return a < b
+		}
+		for i := 1; i < n; i++ {
+			v := s.symOrder[i]
+			j := i - 1
+			for j >= 0 && less(v, s.symOrder[j]) {
+				s.symOrder[j+1] = s.symOrder[j]
+				j--
+			}
+			s.symOrder[j+1] = v
+		}
+		for k := 1; k < n; k++ {
+			prev, cur := s.symOrder[k-1], s.symOrder[k]
+			if tasks[prev].ID.Stage == tasks[cur].ID.Stage &&
+				tasks[prev].ID.Micro != tasks[cur].ID.Micro {
+				s.symPred[cur] = prev
+				s.symSucc[prev] = cur
 			}
 		}
 	}
-	s.hasSucc = make([]bool, n)
-	for i := range s.succs {
-		if len(s.succs[i]) > 0 {
-			s.hasSucc[i] = true
-		}
-	}
-	s.remWork = make([]int, d)
+
+	// Dynamic state.
+	s.remWork = intsN(s.remWork, d)
+	clear(s.remWork)
 	for i := range tasks {
 		for _, dev := range tasks[i].Devices {
 			s.remWork[dev] += tasks[i].Time
 		}
 	}
-	s.devAvail = make([]int, d)
+	s.devAvail = intsN(s.devAvail, d)
+	clear(s.devAvail)
 	if opts.DeviceReady != nil {
 		copy(s.devAvail, opts.DeviceReady)
 	}
-	s.devMem = make([]int, d)
+	s.devMem = intsN(s.devMem, d)
+	clear(s.devMem)
 	if opts.InitialMem != nil {
 		copy(s.devMem, opts.InitialMem)
 	}
-	s.finish = make([]int, n)
-	s.starts = make([]int, n)
-	for i := range s.finish {
+	s.finish = intsN(s.finish, n)
+	s.starts = intsN(s.starts, n)
+	for i := 0; i < n; i++ {
 		s.finish[i] = -1
 		s.starts[i] = -1
 	}
-	s.sched = make([]bool, n)
-	s.predLeft = append([]int(nil), s.npred...)
+	s.sched = boolsN(s.sched, n)
+	clear(s.sched)
+	s.predLeft = intsN(s.predLeft, n)
+	copy(s.predLeft, s.npred)
+	s.nSched = 0
+	s.makespan = 0
+	s.maxTail = 0
+
 	s.maskWords = (n + 63) / 64
-	s.mask = make([]uint64, s.maskWords)
-	if s.maskWords == 1 {
-		s.memo64 = make(map[uint64][][]int32)
-	} else {
-		s.memoStr = make(map[string][][]int32)
+	s.mask = maskN(s.mask, s.maskWords)
+	s.liveMask = maskN(s.liveMask, s.maskWords)
+	s.succUnsched = int32sN(s.succUnsched, n)
+	for i := 0; i < n; i++ {
+		s.succUnsched[i] = s.succOff[i+1] - s.succOff[i]
 	}
-	s.est = make([]int, n)
-	s.best.Makespan = math.MaxInt / 2
+	if !opts.DisableMemo {
+		s.memo.reset(s.maskWords)
+	}
+	s.memoHits = 0
+
+	// Frontier: initially the symmetry-unlocked roots.
+	s.frontPos = int32sN(s.frontPos, n)
+	for i := 0; i < n; i++ {
+		s.frontPos[i] = -1
+	}
+	if cap(s.frontier) < n {
+		s.frontier = make([]int32, 0, n)
+	} else {
+		s.frontier = s.frontier[:0]
+	}
+	for t := 0; t < n; t++ {
+		if s.predLeft[t] == 0 && s.symPred[t] < 0 {
+			s.frontPush(t)
+		}
+	}
+
+	clear(s.buckets[:])
+	for dev := 0; dev < d; dev++ {
+		s.buckets[dev&7] += int64(s.devAvail[dev])
+	}
+
+	// Static critical-path lower bound: pathBound over the full instance,
+	// computed once. At every node the incremental bounds (device loads,
+	// maxTail, staticLB) are tried first and the full pathBound runs only
+	// when they fail to prune; each is a sound lower bound on any
+	// completion of the node, so no node pathBound would keep is lost.
+	s.est = intsN(s.est, n)
+	s.staticLB = s.pathBound()
+
+	// Per-depth frames.
+	for len(s.frames) < n+1 {
+		s.frames = append(s.frames, frame{})
+	}
+
+	s.best = Result{Makespan: math.MaxInt / 2}
 	if opts.UpperBound > 0 {
 		s.best.Makespan = opts.UpperBound
 	}
+	s.bestSet = false
+	s.nodes = 0
+	s.boundCut = false
+	s.truncated = false
+	s.cancelled = false
 	s.startTime = time.Now()
+	s.hasWallDL = false
 	if opts.Timeout > 0 {
 		s.deadlineT = s.startTime.Add(opts.Timeout)
 		s.hasWallDL = true
 	}
-	return s, nil
+	return nil
+}
+
+// maskN reuses a []uint64 mask buffer and zeroes it.
+func maskN(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 func (s *searcher) run() {
@@ -388,6 +690,9 @@ func (s *searcher) run() {
 		} else {
 			s.boundCut = true // feasible dispatch rejected by a seeded bound
 		}
+	}
+	if !s.opts.DisableMemo {
+		s.setSketchScale()
 	}
 	s.dfs()
 }
@@ -408,35 +713,40 @@ func (s *searcher) cutByBound(lb int) bool {
 func (s *searcher) record(starts []int, makespan int) {
 	s.best.Feasible = true
 	s.best.Makespan = makespan
-	s.best.Starts = append([]int(nil), starts...)
+	s.bestStarts = append(s.bestStarts[:0], starts...)
 	s.bestSet = true
 }
 
 // greedy runs a deterministic list-scheduling dispatch: always append the
 // eligible task with the smallest start time, breaking ties by the longest
 // tail. It respects every constraint, so any complete dispatch is feasible.
+// All working state lives in searcher scratch buffers.
 func (s *searcher) greedy() ([]int, int, bool) {
-	n := len(s.tasks)
-	sched := make([]bool, n)
-	predLeft := append([]int(nil), s.npred...)
-	devAvail := append([]int(nil), s.devAvail...)
-	devMem := append([]int(nil), s.devMem...)
-	finish := make([]int, n)
-	starts := make([]int, n)
-	symDone := make([]bool, n)
+	n := s.n
+	s.gSched = boolsN(s.gSched, n)
+	clear(s.gSched)
+	s.gPredLeft = intsN(s.gPredLeft, n)
+	copy(s.gPredLeft, s.npred)
+	s.gAvail = intsN(s.gAvail, s.d)
+	copy(s.gAvail, s.devAvail)
+	s.gMem = intsN(s.gMem, s.d)
+	copy(s.gMem, s.devMem)
+	s.gFinish = intsN(s.gFinish, n)
+	s.gStarts = intsN(s.gStarts, n)
 	makespan := 0
 	for done := 0; done < n; done++ {
 		bestT, bestStart := -1, 0
 		for t := 0; t < n; t++ {
-			if sched[t] || predLeft[t] > 0 {
+			if s.gSched[t] || s.gPredLeft[t] > 0 {
 				continue
 			}
-			if sp := s.symPred[t]; sp >= 0 && !symDone[sp] {
+			if sp := s.symPred[t]; sp >= 0 && !s.gSched[sp] {
 				continue
 			}
+			devs := s.devList[s.devOff[t]:s.devOff[t+1]]
 			ok := true
-			for _, dev := range s.tasks[t].Devices {
-				if devMem[dev]+s.tasks[t].Mem > s.opts.Memory {
+			for _, dev := range devs {
+				if s.gMem[dev]+s.mem[t] > s.opts.Memory {
 					ok = false
 					break
 				}
@@ -444,15 +754,15 @@ func (s *searcher) greedy() ([]int, int, bool) {
 			if !ok {
 				continue
 			}
-			st := s.tasks[t].Release
-			for _, dev := range s.tasks[t].Devices {
-				if devAvail[dev] > st {
-					st = devAvail[dev]
+			st := s.release[t]
+			for _, dev := range devs {
+				if s.gAvail[dev] > st {
+					st = s.gAvail[dev]
 				}
 			}
-			for _, p := range s.tasks[t].Preds {
-				if finish[p] > st {
-					st = finish[p]
+			for _, p := range s.predList[s.predOff[t]:s.predOff[t+1]] {
+				if s.gFinish[p] > st {
+					st = s.gFinish[p]
 				}
 			}
 			if bestT < 0 || st < bestStart ||
@@ -464,22 +774,21 @@ func (s *searcher) greedy() ([]int, int, bool) {
 			return nil, 0, false // memory deadlock under greedy order
 		}
 		t := bestT
-		sched[t] = true
-		symDone[t] = true
-		starts[t] = bestStart
-		finish[t] = bestStart + s.tasks[t].Time
-		if finish[t] > makespan {
-			makespan = finish[t]
+		s.gSched[t] = true
+		s.gStarts[t] = bestStart
+		s.gFinish[t] = bestStart + s.time[t]
+		if s.gFinish[t] > makespan {
+			makespan = s.gFinish[t]
 		}
-		for _, dev := range s.tasks[t].Devices {
-			devAvail[dev] = finish[t]
-			devMem[dev] += s.tasks[t].Mem
+		for _, dev := range s.devList[s.devOff[t]:s.devOff[t+1]] {
+			s.gAvail[dev] = s.gFinish[t]
+			s.gMem[dev] += s.mem[t]
 		}
-		for _, v := range s.succs[t] {
-			predLeft[v]--
+		for _, v := range s.succList[s.succOff[t]:s.succOff[t+1]] {
+			s.gPredLeft[v]--
 		}
 	}
-	return starts, makespan, true
+	return s.gStarts, makespan, true
 }
 
 func (s *searcher) outOfBudget() bool {
@@ -500,128 +809,161 @@ func (s *searcher) outOfBudget() bool {
 	return false
 }
 
-// deviceBound is the cheap device-load lower bound.
-func (s *searcher) deviceBound() int {
-	lb := s.makespan
-	for dev := 0; dev < s.d; dev++ {
-		if b := s.devAvail[dev] + s.remWork[dev]; b > lb {
-			lb = b
-		}
-	}
-	return lb
-}
-
 // pathBound is the critical-path lower bound: earliest start estimates over
 // unscheduled tasks in topological order (ignoring device contention and
-// memory, which keeps it a valid lower bound) plus tail lengths.
+// memory, which keeps it a valid lower bound) plus tail lengths. It walks
+// the incrementally maintained unscheduled list, so its cost shrinks with
+// search depth. The array hoisting matters: this is the hottest loop of
+// the search.
 func (s *searcher) pathBound() int {
+	topo, topoNext := s.topo, s.topoNext
+	devOff, devList := s.devOff, s.devList
+	predOff, predList := s.predOff, s.predList
+	est, dur, tail, release := s.est, s.time, s.tail, s.release
+	devAvail, finish, sched := s.devAvail, s.finish, s.sched
 	lb := 0
-	for _, u := range s.topo {
-		if s.sched[u] {
-			continue
-		}
-		est := s.tasks[u].Release
-		for _, dev := range s.tasks[u].Devices {
-			if s.devAvail[dev] > est {
-				est = s.devAvail[dev]
+	sentinel := int32(s.n)
+	for pos := topoNext[sentinel]; pos != sentinel; pos = topoNext[pos] {
+		u := topo[pos]
+		e := release[u]
+		for di, de := devOff[u], devOff[u+1]; di < de; di++ {
+			if a := devAvail[devList[di]]; a > e {
+				e = a
 			}
 		}
-		for _, p := range s.tasks[u].Preds {
+		for pi, pend := predOff[u], predOff[u+1]; pi < pend; pi++ {
+			p := predList[pi]
 			var pf int
-			if s.sched[p] {
-				pf = s.finish[p]
+			if sched[p] {
+				pf = finish[p]
 			} else {
-				pf = s.est[p] + s.tasks[p].Time
+				pf = est[p] + dur[p]
 			}
-			if pf > est {
-				est = pf
+			if pf > e {
+				e = pf
 			}
 		}
-		s.est[u] = est
-		if b := est + s.tasks[u].Time + s.tail[u]; b > lb {
+		est[u] = e
+		if b := e + dur[u] + tail[u]; b > lb {
 			lb = b
 		}
 	}
 	return lb
 }
 
-// fillStateVector writes the dominance state into dst: device availability
-// plus finish times of scheduled tasks that still have successors.
-// Componentwise-≤ states dominate.
-func (s *searcher) fillStateVector(dst []int32) []int32 {
+// fillStateVector writes the dominance state into dst, packed two int32
+// components per word for the memo's lane-parallel compare: device
+// availability plus finish times of scheduled tasks that still have
+// successors (walked via the scheduled-set bitmask). Componentwise-≤ states
+// dominate.
+func (s *searcher) fillStateVector(dst []uint64) []uint64 {
 	dst = dst[:0]
+	cur := uint64(0)
+	k := 0
 	for dev := 0; dev < s.d; dev++ {
-		dst = append(dst, int32(s.devAvail[dev]))
-	}
-	for t := range s.tasks {
-		if s.sched[t] && s.hasSucc[t] {
-			dst = append(dst, int32(s.finish[t]))
+		a := s.devAvail[dev]
+		if k&1 == 0 {
+			cur = uint64(uint32(a))
+		} else {
+			dst = append(dst, cur|uint64(uint32(a))<<32)
 		}
+		k++
+	}
+	finish := s.finish
+	for w := 0; w < s.maskWords; w++ {
+		word := s.liveMask[w]
+		base := w << 6
+		for word != 0 {
+			f := finish[base+bits.TrailingZeros64(word)]
+			if k&1 == 0 {
+				cur = uint64(uint32(f))
+			} else {
+				dst = append(dst, cur|uint64(uint32(f))<<32)
+			}
+			k++
+			word &= word - 1
+		}
+	}
+	if k&1 == 1 {
+		dst = append(dst, cur)
 	}
 	return dst
 }
 
-func dominates(a, b []int32) bool {
-	for i := range a {
-		if a[i] > b[i] {
-			return false
+// sketchAndSum derives the memo pre-filter values from the incrementally
+// maintained buckets: the total component sum and the 8-lane quantized
+// sketch.
+func (s *searcher) sketchAndSum() (uint64, int64) {
+	sum := int64(0)
+	sketch := uint64(0)
+	shift := s.sketchShift
+	for b := 0; b < 8; b++ {
+		v := s.buckets[b]
+		sum += v
+		q := v >> shift
+		if q > 127 {
+			q = 127
 		}
+		sketch |= uint64(q) << (8 * b)
 	}
-	return true
+	return sketch, sum
 }
 
-// memoPrune returns true when a previously seen state with the same
-// scheduled set dominates the current one.
-func (s *searcher) memoPrune() bool {
-	if s.opts.DisableMemo {
-		return false
+// setSketchScale picks the quantization shift for the memo sketch from the
+// incumbent makespan (the ceiling on every state-vector component): bucket
+// sums must land in 0..127 for the 8-bit lanes. The shift is fixed for the
+// whole solve — entries and probes must quantize identically.
+func (s *searcher) setSketchScale() {
+	ceiling := int64(s.staticLB)
+	if s.bestSet || s.opts.UpperBound > 0 {
+		ceiling = int64(s.best.Makespan)
 	}
-	s.vecScratch = s.fillStateVector(s.vecScratch)
-	vec := s.vecScratch
-	var entries [][]int32
-	var key64 uint64
-	var keyStr string
-	if s.memo64 != nil {
-		key64 = s.mask[0]
-		entries = s.memo64[key64]
-	} else {
-		buf := make([]byte, s.maskWords*8)
-		for w, word := range s.mask {
-			for b := 0; b < 8; b++ {
-				buf[w*8+b] = byte(word >> (8 * b))
-			}
-		}
-		keyStr = string(buf)
-		entries = s.memoStr[keyStr]
-	}
-	for _, e := range entries {
-		if dominates(e, vec) {
-			return true
+	nSucc := 0
+	for i := 0; i < s.n; i++ {
+		if s.hasSucc[i] {
+			nSucc++
 		}
 	}
-	if s.memoSize < memoCap {
-		// Drop entries the new vector dominates, then insert a copy.
-		kept := entries[:0]
-		for _, e := range entries {
-			if !dominates(vec, e) {
-				kept = append(kept, e)
-			}
-		}
-		kept = append(kept, append([]int32(nil), vec...))
-		if s.memo64 != nil {
-			s.memo64[key64] = kept
-		} else {
-			s.memoStr[keyStr] = kept
-		}
-		s.memoSize++
+	perBucket := int64((s.d+nSucc+7)/8) * ceiling
+	s.sketchShift = 0
+	for perBucket>>s.sketchShift > 127 {
+		s.sketchShift++
 	}
-	return false
 }
 
-type candidate struct {
-	task  int
-	start int
+// --- frontier maintenance --------------------------------------------------
+
+func (s *searcher) frontPush(t int) {
+	s.frontPos[t] = int32(len(s.frontier))
+	s.frontier = append(s.frontier, int32(t))
 }
+
+func (s *searcher) frontRemove(t int) {
+	i := s.frontPos[t]
+	last := int32(len(s.frontier) - 1)
+	moved := s.frontier[last]
+	s.frontier[i] = moved
+	s.frontPos[moved] = i
+	s.frontier = s.frontier[:last]
+	s.frontPos[t] = -1
+}
+
+// frontSync makes task t's frontier membership match its eligibility. It is
+// idempotent, so apply/undo can call it for every task whose eligibility
+// inputs (predLeft, symmetry predecessor) they touched.
+func (s *searcher) frontSync(t int) {
+	eligible := !s.sched[t] && s.predLeft[t] == 0 &&
+		(s.symPred[t] < 0 || s.sched[s.symPred[t]])
+	if eligible {
+		if s.frontPos[t] < 0 {
+			s.frontPush(t)
+		}
+	} else if s.frontPos[t] >= 0 {
+		s.frontRemove(t)
+	}
+}
+
+// --- the search ------------------------------------------------------------
 
 func (s *searcher) dfs() {
 	s.nodes++
@@ -629,8 +971,7 @@ func (s *searcher) dfs() {
 		s.truncated = true
 		return
 	}
-	n := len(s.tasks)
-	if s.nSched == n {
+	if s.nSched == s.n {
 		if s.makespan <= s.deadline && s.makespan < s.best.Makespan {
 			s.record(s.starts, s.makespan)
 		} else {
@@ -641,31 +982,76 @@ func (s *searcher) dfs() {
 	if s.opts.SatisfyOnly && s.bestSet {
 		return
 	}
-	if lb := s.deviceBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
-		return
-	}
-	if lb := s.pathBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
-		return
-	}
-	if s.memoPrune() {
-		return
-	}
-	// Collect candidates: eligible tasks and their earliest starts, into a
-	// per-depth reusable buffer (dfs depth equals nSched).
-	for len(s.candPool) <= s.nSched {
-		s.candPool = append(s.candPool, make([]candidate, 0, n))
-	}
-	cands := s.candPool[s.nSched][:0]
-	for t := 0; t < n; t++ {
-		if s.sched[t] || s.predLeft[t] > 0 {
-			continue
+	// Lower bounds, cheapest first: device loads, the running max of
+	// finish+tail over scheduled tasks (dominated by pathBound), and the
+	// static whole-instance critical path (a sound global bound on any
+	// completion). Consulting them first lets most pruned nodes skip the
+	// full critical-path recomputation.
+	lb := s.makespan
+	for dev := 0; dev < s.d; dev++ {
+		if b := s.devAvail[dev] + s.remWork[dev]; b > lb {
+			lb = b
 		}
-		if sp := s.symPred[t]; sp >= 0 && !s.sched[sp] {
-			continue
+	}
+	if s.maxTail > lb {
+		lb = s.maxTail
+	}
+	if s.staticLB > lb {
+		lb = s.staticLB
+	}
+	if s.cutByBound(lb) || lb >= s.best.Makespan {
+		return
+	}
+	// Dominance memo and critical path, cheapest-expected-first: with an
+	// incumbent and no deadline the bound flags cannot be affected by which
+	// check fires, so the memo probe (often a hit) runs before the heavier
+	// pathBound walk; otherwise the original order is kept — and the state
+	// vector is only built once pathBound keeps the node — so the
+	// BoundPruned accounting stays exact. Either way a state is inserted
+	// into the memo iff its probe missed and pathBound kept the node — the
+	// same set of states the non-reordered search memoizes.
+	if !s.opts.DisableMemo {
+		if s.bestSet && s.deadline == Unbounded {
+			vec := s.fillStateVector(s.vecScratch)
+			s.vecScratch = vec
+			sketch, vsum := s.sketchAndSum()
+			if s.memo.probe(s.mask, vec, vsum, sketch) {
+				s.memoHits++
+				return
+			}
+			if lb := s.pathBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
+				return
+			}
+			s.memo.insert(s.mask, vec, vsum, sketch)
+		} else {
+			if lb := s.pathBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
+				return
+			}
+			vec := s.fillStateVector(s.vecScratch)
+			s.vecScratch = vec
+			sketch, vsum := s.sketchAndSum()
+			if s.memo.probe(s.mask, vec, vsum, sketch) {
+				s.memoHits++
+				return
+			}
+			s.memo.insert(s.mask, vec, vsum, sketch)
 		}
+	} else if lb := s.pathBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
+		return
+	}
+
+	// Collect candidates from the incrementally maintained frontier into
+	// this depth's reusable buffer, insertion-sorting as we go: smallest
+	// start first, then longest tail, then task index — a total order, so
+	// the expansion order is independent of frontier layout.
+	fr := &s.frames[s.nSched]
+	cands := fr.cands[:0]
+	for _, t32 := range s.frontier {
+		t := int(t32)
+		devs := s.devList[s.devOff[t]:s.devOff[t+1]]
 		memOK := true
-		for _, dev := range s.tasks[t].Devices {
-			if s.devMem[dev]+s.tasks[t].Mem > s.opts.Memory {
+		for _, dev := range devs {
+			if s.devMem[dev]+s.mem[t] > s.opts.Memory {
 				memOK = false
 				break
 			}
@@ -673,49 +1059,54 @@ func (s *searcher) dfs() {
 		if !memOK {
 			continue
 		}
-		st := s.tasks[t].Release
-		for _, dev := range s.tasks[t].Devices {
+		st := s.release[t]
+		for _, dev := range devs {
 			if s.devAvail[dev] > st {
 				st = s.devAvail[dev]
 			}
 		}
-		for _, p := range s.tasks[t].Preds {
+		for _, p := range s.predList[s.predOff[t]:s.predOff[t+1]] {
 			if s.finish[p] > st {
 				st = s.finish[p]
 			}
 		}
-		if lb := st + s.tasks[t].Time + s.tail[t]; s.cutByBound(lb) || lb >= s.best.Makespan {
+		if lb := st + s.time[t] + s.tail[t]; s.cutByBound(lb) || lb >= s.best.Makespan {
 			continue
 		}
-		cands = append(cands, candidate{task: t, start: st})
+		c := candidate{task: t, start: st}
+		j := len(cands) - 1
+		cands = append(cands, c)
+		for ; j >= 0; j-- {
+			prev := cands[j]
+			if prev.start < c.start {
+				break
+			}
+			if prev.start == c.start {
+				if s.tail[prev.task] > s.tail[c.task] {
+					break
+				}
+				if s.tail[prev.task] == s.tail[c.task] && prev.task < c.task {
+					break
+				}
+			}
+			cands[j+1] = prev
+		}
+		cands[j+1] = c
 	}
-	if len(cands) == 0 {
-		return // dead end (memory deadlock) or fully pruned
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].start != cands[j].start {
-			return cands[i].start < cands[j].start
-		}
-		ti, tj := cands[i].task, cands[j].task
-		if s.tail[ti] != s.tail[tj] {
-			return s.tail[ti] > s.tail[tj]
-		}
-		return ti < tj
-	})
-	var savedAvail [8]int
-	for _, c := range cands {
-		devs := s.tasks[c.task].Devices
-		saved := savedAvail[:0]
-		if len(devs) > len(savedAvail) {
-			saved = make([]int, 0, len(devs))
-		}
+	fr.cands = cands
+	for i := range cands {
+		c := cands[i]
+		devs := s.devList[s.devOff[c.task]:s.devOff[c.task+1]]
+		saved := fr.saved[:0]
 		for _, dev := range devs {
 			saved = append(saved, s.devAvail[dev])
 		}
+		fr.saved = saved
 		savedMakespan := s.makespan
+		savedMaxTail := s.maxTail
 		s.apply(c)
 		s.dfs()
-		s.undo(c, saved, savedMakespan)
+		s.undo(c, fr.saved, savedMakespan, savedMaxTail)
 		if s.truncated || (s.opts.SatisfyOnly && s.bestSet) {
 			return
 		}
@@ -724,38 +1115,90 @@ func (s *searcher) dfs() {
 
 func (s *searcher) apply(c candidate) {
 	t := c.task
+	s.frontRemove(t)
+	pos := s.topoPos[t]
+	s.topoNext[s.topoPrev[pos]] = s.topoNext[pos]
+	s.topoPrev[s.topoNext[pos]] = s.topoPrev[pos]
 	s.sched[t] = true
-	s.mask[t/64] |= 1 << (uint(t) % 64)
+	s.mask[t>>6] |= 1 << (uint(t) & 63)
 	s.starts[t] = c.start
-	s.finish[t] = c.start + s.tasks[t].Time
-	if s.finish[t] > s.makespan {
-		s.makespan = s.finish[t]
+	f := c.start + s.time[t]
+	s.finish[t] = f
+	if f > s.makespan {
+		s.makespan = f
 	}
-	for _, dev := range s.tasks[t].Devices {
-		s.devAvail[dev] = s.finish[t]
-		s.devMem[dev] += s.tasks[t].Mem
-		s.remWork[dev] -= s.tasks[t].Time
+	if b := f + s.tail[t]; b > s.maxTail {
+		s.maxTail = b
 	}
-	for _, v := range s.succs[t] {
+	for _, dev := range s.devList[s.devOff[t]:s.devOff[t+1]] {
+		s.buckets[dev&7] += int64(f - s.devAvail[dev])
+		s.devAvail[dev] = f
+		s.devMem[dev] += s.mem[t]
+		s.remWork[dev] -= s.time[t]
+	}
+	if s.hasSucc[t] {
+		// All of t's successors are necessarily unscheduled here.
+		s.buckets[(s.d+t)&7] += int64(f)
+		s.liveMask[t>>6] |= 1 << (uint(t) & 63)
+	}
+	for _, p := range s.predList[s.predOff[t]:s.predOff[t+1]] {
+		s.succUnsched[p]--
+		if s.succUnsched[p] == 0 && s.sched[p] {
+			// p's last successor just got scheduled: its finish no longer
+			// constrains anything unscheduled.
+			s.buckets[(s.d+int(p))&7] -= int64(s.finish[p])
+			s.liveMask[p>>6] &^= 1 << (uint(p) & 63)
+		}
+	}
+	for _, v := range s.succList[s.succOff[t]:s.succOff[t+1]] {
 		s.predLeft[v]--
+		if s.predLeft[v] == 0 {
+			s.frontSync(int(v))
+		}
+	}
+	if ss := s.symSucc[t]; ss >= 0 {
+		s.frontSync(ss)
 	}
 	s.nSched++
 }
 
-func (s *searcher) undo(c candidate, savedAvail []int, savedMakespan int) {
+func (s *searcher) undo(c candidate, savedAvail []int, savedMakespan, savedMaxTail int) {
 	t := c.task
 	s.nSched--
-	for _, v := range s.succs[t] {
-		s.predLeft[v]++
+	if s.hasSucc[t] {
+		s.buckets[(s.d+t)&7] -= int64(s.finish[t])
+		s.liveMask[t>>6] &^= 1 << (uint(t) & 63)
 	}
-	for i, dev := range s.tasks[t].Devices {
-		s.devMem[dev] -= s.tasks[t].Mem
-		s.remWork[dev] += s.tasks[t].Time
+	for _, p := range s.predList[s.predOff[t]:s.predOff[t+1]] {
+		if s.succUnsched[p] == 0 && s.sched[p] {
+			s.buckets[(s.d+int(p))&7] += int64(s.finish[p])
+			s.liveMask[p>>6] |= 1 << (uint(p) & 63)
+		}
+		s.succUnsched[p]++
+	}
+	for _, v := range s.succList[s.succOff[t]:s.succOff[t+1]] {
+		s.predLeft[v]++
+		s.frontSync(int(v))
+	}
+	for i, dev := range s.devList[s.devOff[t]:s.devOff[t+1]] {
+		s.devMem[dev] -= s.mem[t]
+		s.remWork[dev] += s.time[t]
+		s.buckets[dev&7] += int64(savedAvail[i] - s.devAvail[dev])
 		s.devAvail[dev] = savedAvail[i]
 	}
 	s.sched[t] = false
-	s.mask[t/64] &^= 1 << (uint(t) % 64)
+	s.mask[t>>6] &^= 1 << (uint(t) & 63)
 	s.starts[t] = -1
 	s.finish[t] = -1
 	s.makespan = savedMakespan
+	s.maxTail = savedMaxTail
+	// Relink t's topo position; LIFO undo order makes the stored prev/next
+	// pointers valid again.
+	pos := s.topoPos[t]
+	s.topoNext[s.topoPrev[pos]] = pos
+	s.topoPrev[s.topoNext[pos]] = pos
+	if ss := s.symSucc[t]; ss >= 0 {
+		s.frontSync(ss)
+	}
+	s.frontSync(t)
 }
