@@ -143,6 +143,44 @@ func BenchmarkSolverScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkPeriodMachinery measures the repetend period machinery — the
+// difference-constraint feasibility probes of minPeriod and the local
+// search — at sweep granularity, on the shapes whose searches are
+// dominated by it: the m-shape cold search and the local-search-heavy
+// k-shape / nn-shape sweeps. Besides wall time it reports probes/op,
+// relax/op and swaps/op, the effort counters of the incremental period
+// engine (probe counts are a pure function of the searched assignments,
+// so they double as a determinism canary across runs).
+func BenchmarkPeriodMachinery(b *testing.B) {
+	shapes := []struct {
+		name  string
+		build func(tessel.ShapeConfig) (*tessel.Placement, error)
+	}{
+		{"mshape", tessel.NewMShape},
+		{"kshape", tessel.NewKShape},
+		{"nnshape", tessel.NewNNShape},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			p := mustShape(b, sh.build)
+			b.ReportAllocs()
+			var probes, relax, swaps int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Search(context.Background(), p, core.Options{MaxNR: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes += res.Stats.PeriodProbes
+				relax += res.Stats.PeriodRelaxations
+				swaps += res.Stats.LocalSearchSwaps
+			}
+			b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+			b.ReportMetric(float64(relax)/float64(b.N), "relax/op")
+			b.ReportMetric(float64(swaps)/float64(b.N), "swaps/op")
+		})
+	}
+}
+
 // BenchmarkSolverReuse contrasts a pooled searcher (the steady state of a
 // repetend sweep: zero allocations per solve) with the package-level Solve
 // on the same instance.

@@ -93,9 +93,18 @@ type searchStatsJSON struct {
 	// NodesPerSec is the repetend-phase solver node throughput — the
 	// serving-side health measure of the allocation-free solver core.
 	NodesPerSec float64 `json:"nodes_per_sec"`
-	EarlyExit   bool    `json:"early_exit"`
-	Truncated   bool    `json:"truncated"`
-	TotalMS     int64   `json:"total_ms"`
+	// PeriodProbes / PeriodRelaxations count the period-feasibility probes
+	// and their distance tightenings across the sweep's repetend
+	// evaluations — the serving-side health measures of the incremental
+	// period engine (the repetend phase's other hot path).
+	PeriodProbes      int64 `json:"period_probes"`
+	PeriodRelaxations int64 `json:"period_relaxations"`
+	// LocalSearchSwaps counts candidate order swaps the repetend local
+	// search evaluated.
+	LocalSearchSwaps int64 `json:"local_search_swaps"`
+	EarlyExit        bool  `json:"early_exit"`
+	Truncated        bool  `json:"truncated"`
+	TotalMS          int64 `json:"total_ms"`
 }
 
 type errorResponse struct {
@@ -275,16 +284,19 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		LowerBound:  res.LowerBound,
 		BubbleRate:  res.BubbleRate,
 		Stats: searchStatsJSON{
-			Assignments: res.Stats.Assignments,
-			Solved:      res.Stats.Solved,
-			Pruned:      res.Stats.Pruned,
-			Improved:    res.Stats.Improved,
-			SolverNodes: res.Stats.SolverNodes,
-			MemoHits:    res.Stats.SolverMemoHits,
-			NodesPerSec: res.Stats.NodesPerSec(),
-			EarlyExit:   res.Stats.EarlyExit,
-			Truncated:   res.Stats.Truncated,
-			TotalMS:     res.Stats.Total.Milliseconds(),
+			Assignments:       res.Stats.Assignments,
+			Solved:            res.Stats.Solved,
+			Pruned:            res.Stats.Pruned,
+			Improved:          res.Stats.Improved,
+			SolverNodes:       res.Stats.SolverNodes,
+			MemoHits:          res.Stats.SolverMemoHits,
+			NodesPerSec:       res.Stats.NodesPerSec(),
+			PeriodProbes:      res.Stats.PeriodProbes,
+			PeriodRelaxations: res.Stats.PeriodRelaxations,
+			LocalSearchSwaps:  res.Stats.LocalSearchSwaps,
+			EarlyExit:         res.Stats.EarlyExit,
+			Truncated:         res.Stats.Truncated,
+			TotalMS:           res.Stats.Total.Milliseconds(),
 		},
 		Schedule: schedBuf.Bytes(),
 	}

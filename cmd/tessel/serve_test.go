@@ -76,6 +76,15 @@ func TestServeSearchEndToEnd(t *testing.T) {
 	if first.Stats.MemoHits < 0 || first.Stats.MemoHits > first.Stats.SolverNodes {
 		t.Fatalf("memo hits out of range: %+v", first.Stats)
 	}
+	// The period-machinery counters must be populated too: a default
+	// (tight-compaction) search runs feasibility probes for every solved
+	// repetend, and relaxations imply probes.
+	if first.Stats.PeriodProbes <= 0 || first.Stats.PeriodRelaxations <= 0 {
+		t.Fatalf("period stats not populated: %+v", first.Stats)
+	}
+	if first.Stats.LocalSearchSwaps < 0 {
+		t.Fatalf("local search swaps negative: %+v", first.Stats)
+	}
 	// The embedded schedule must round-trip through the decoder.
 	sched, err := tessel.DecodeSchedule(bytes.NewReader(first.Schedule))
 	if err != nil {

@@ -115,6 +115,22 @@ type Stats struct {
 	// dominance memo, the per-search effectiveness measure of the
 	// arena-backed memoization.
 	SolverMemoHits int64
+	// PeriodProbes is the total number of period-feasibility probes (one
+	// difference-constraint fixpoint computation each) the repetend
+	// evaluations ran — across the order-independent relaxation checks,
+	// the minPeriod binary searches, and local search. Like SolverNodes,
+	// it sums over *solved* assignments only: a candidate discarded
+	// against the incumbent by the relaxation check returns no Repetend,
+	// so its single probe is not counted.
+	PeriodProbes int64
+	// PeriodRelaxations is the number of successful distance tightenings
+	// inside those probes — the budget-independent effort measure of the
+	// period machinery (the analogue of SolverNodes for the incremental
+	// period engine).
+	PeriodRelaxations int64
+	// LocalSearchSwaps is the number of candidate adjacent-order swaps
+	// the repetend local search applied and evaluated (kept or undone).
+	LocalSearchSwaps int64
 	// EarlyExit is true when the search hit the device-work lower bound and
 	// stopped (Algorithm 1 lines 19–20).
 	EarlyExit bool
@@ -233,12 +249,14 @@ func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, err
 	}
 
 	st := &sweepState{}
-	// One searcher pool and one instance-solve cache for the whole search:
-	// the pool recycles solver state (task graphs, frontier buffers, memo
-	// arenas) across the sweep's hundreds of instance solves and the
-	// completion solves; the cache lets assignments that share a lag-zero
-	// pattern (across workers and N_R rounds) pay the branch-and-bound
-	// makespan solve once.
+	// One searcher pool, one period-engine pool, and one instance-solve
+	// cache for the whole search: the pools recycle solver state (task
+	// graphs, frontier buffers, memo arenas) and period-machinery state
+	// (edge CSRs, dist/queue vectors, order buffers) across the sweep's
+	// hundreds of instance solves and thousands of feasibility probes;
+	// the cache lets assignments that share a lag-zero pattern (across
+	// workers and N_R rounds) pay the branch-and-bound makespan solve
+	// once.
 	pool := solver.NewPool()
 	repOpts := repetend.SolveOptions{
 		Memory:             opts.Memory,
@@ -247,6 +265,7 @@ func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, err
 		SimpleCompaction:   opts.SimpleCompaction,
 		DisableLocalSearch: opts.DisableLocalSearch,
 		Pool:               pool,
+		PeriodPool:         repetend.NewPeriodPool(),
 		Cache:              repetend.NewSolveCache(),
 	}
 
@@ -357,17 +376,20 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var (
-		stop      atomic.Bool
-		solved    atomic.Int64
-		pruned    atomic.Int64
-		nodes     atomic.Int64
-		memoHits  atomic.Int64
-		truncSlv  atomic.Bool
-		repNanos  atomic.Int64
-		assignCh  = make(chan assignTask, 4*workers)
-		resultCh  = make(chan solveOutcome, 4*workers)
-		wg        sync.WaitGroup
-		truncated bool
+		stop        atomic.Bool
+		solved      atomic.Int64
+		pruned      atomic.Int64
+		nodes       atomic.Int64
+		memoHits    atomic.Int64
+		periodProbe atomic.Int64
+		periodRelax atomic.Int64
+		lsSwaps     atomic.Int64
+		truncSlv    atomic.Bool
+		repNanos    atomic.Int64
+		assignCh    = make(chan assignTask, 4*workers)
+		resultCh    = make(chan solveOutcome, 4*workers)
+		wg          sync.WaitGroup
+		truncated   bool
 	)
 	if st.best != nil && st.best.Period == res.LowerBound {
 		res.Stats.EarlyExit = true
@@ -431,6 +453,9 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 				solved.Add(1)
 				nodes.Add(r.SolverNodes)
 				memoHits.Add(r.SolverMemoHits)
+				periodProbe.Add(r.PeriodProbes)
+				periodRelax.Add(r.PeriodRelaxations)
+				lsSwaps.Add(r.LocalSearchSwaps)
 				if r.Truncated {
 					truncSlv.Store(true)
 				}
@@ -498,6 +523,9 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 	res.Stats.Pruned += int(pruned.Load())
 	res.Stats.SolverNodes += nodes.Load()
 	res.Stats.SolverMemoHits += memoHits.Load()
+	res.Stats.PeriodProbes += periodProbe.Load()
+	res.Stats.PeriodRelaxations += periodRelax.Load()
+	res.Stats.LocalSearchSwaps += lsSwaps.Load()
 	res.Stats.Phase.Repetend += time.Duration(repNanos.Load())
 	if truncated || truncSlv.Load() {
 		res.Stats.Truncated = true

@@ -47,6 +47,9 @@ func TestCacheHitSkipsSearch(t *testing.T) {
 	if cold.Stats.Solved == 0 {
 		t.Fatal("cold search solved no repetends")
 	}
+	if cold.Stats.PeriodProbes == 0 || cold.Stats.PeriodRelaxations == 0 {
+		t.Fatalf("cold search reported no period-machinery effort: %+v", cold.Stats)
+	}
 
 	warm, info, err := e.Search(ctx, p, core.Options{N: 8})
 	if err != nil {

@@ -1,0 +1,778 @@
+// The period machinery of the repetend phase: an allocation-free,
+// incremental feasibility engine for the difference-constraint systems of
+// §IV-B. A sweep evaluates thousands of candidate orders, and each
+// evaluation is a sequence of period-feasibility probes (is period P
+// achievable for these per-device orders?); the engine keeps every piece of
+// probe state — CSR-packed edge arrays, SPFA dist/queue vectors, per-device
+// order and prefix-memory buffers — in reusable scratch so a probe performs
+// zero heap allocations in the steady state, mirroring the solver package's
+// searcher treatment.
+//
+// Three ideas carry the speedup over the dense Bellman-Ford edge lists this
+// replaces:
+//
+//  1. Queue-based relaxation (SPFA) with positive-cycle detection by
+//     relaxation-chain length: only stages whose distance actually changed
+//     are revisited, instead of re-scanning every edge O(V) times.
+//  2. Warm-started binary search: feasibility is monotone in P — shrinking
+//     P only tightens the period-dependent constraints — so the least
+//     fixpoint at a larger feasible P is a valid starting vector for any
+//     smaller P. Each binary-search probe re-relaxes from the previous
+//     feasible dist instead of from zero, seeded with just the
+//     period-dependent (cross and wrap-around) edges.
+//  3. In-place swap+undo local search: a candidate adjacent swap mutates
+//     the engine's order and prefix-memory buffers in O(shared devices),
+//     its memory check is a delta check of the single changed prefix per
+//     device, and rejection undoes the swap — no cloned order vectors, no
+//     full memory rescans.
+//
+// Everything the engine computes — the minimum period, the normalized start
+// vector (the unique least fixpoint of the constraint system), and the
+// pruned/infeasible statuses — is byte-identical to the dense reference
+// implementation (kept under test in reference_test.go), which is what
+// preserves worker-count-independent sweeps.
+package repetend
+
+import (
+	"context"
+	"sync"
+
+	"tessel/internal/sched"
+)
+
+// periodStatus reports how a bounded minPeriod call ended.
+type periodStatus int
+
+const (
+	// periodOK: the minimum feasible period (≤ bound, if set) was found.
+	periodOK periodStatus = iota
+	// periodPruned: a bound was set and the minimum period provably
+	// exceeds it; the order is not necessarily infeasible.
+	periodPruned
+	// periodInfeasible: the constraint system has no period at all
+	// (cyclic order) — a solver-order repair bug, not a prune.
+	periodInfeasible
+)
+
+// PeriodPool recycles periodEngine scratch — edge CSRs, dist/queue vectors,
+// order buffers — across Solve calls, the period-machinery analogue of
+// solver.Pool. A sweep shares one pool across its workers so its thousands
+// of feasibility probes run allocation-free instead of rebuilding edge
+// lists per probe. Safe for concurrent use: concurrent solves draw
+// distinct engines. The zero value is ready to use.
+type PeriodPool struct {
+	p sync.Pool
+}
+
+// NewPeriodPool returns an empty period-engine pool.
+func NewPeriodPool() *PeriodPool { return &PeriodPool{} }
+
+// get draws a recycled engine; a nil *PeriodPool falls back to the
+// package's shared pool so callers can thread an optional pool without
+// branching.
+func (pl *PeriodPool) get() *periodEngine {
+	if pl == nil {
+		pl = defaultPeriodPool
+	}
+	e, _ := pl.p.Get().(*periodEngine)
+	if e == nil {
+		e = &periodEngine{}
+	}
+	e.home = pl
+	return e
+}
+
+// put returns an engine to the pool it was drawn from.
+func (e *periodEngine) release() {
+	e.p = nil // drop the placement reference; scratch arrays are retained
+	e.home.p.Put(e)
+}
+
+// defaultPeriodPool backs Solve calls that do not thread a pool.
+var defaultPeriodPool = NewPeriodPool()
+
+// periodAudit, when non-nil, is invoked by localSearch after every
+// candidate swap has been resolved (kept or undone). It exists solely for
+// tests, which use it to cross-check the engine's incremental order and
+// prefix-memory state against a freshly built instance and to exercise
+// cancellation mid-pass; production code never sets it.
+var periodAudit func(e *periodEngine, u, v int, accepted bool)
+
+// periodEngine is the reusable scratch of one repetend period evaluation.
+// bind attaches it to a (placement, assignment, entry-memory, capacity)
+// instance; all methods below run allocation-free once the scratch has
+// grown to the instance size. An engine is single-goroutine state; draw
+// one per solve from a PeriodPool.
+type periodEngine struct {
+	home *PeriodPool
+	p    *sched.Placement
+	k    int // stages
+	nd   int // devices
+	mem  int // per-device capacity (sched.Unbounded = none)
+
+	times []int // stage execution times
+	mems  []int // stage memory deltas
+	entry []int // per-device entry memory
+	lower int   // workLowerBound: max per-device work
+	hiSum int   // sum of stage times (initial binary-search ceiling)
+
+	// reach is the k×k transitive closure over lag-zero dependency edges:
+	// reach[u*k+v] means v is dependency-ordered after u within the
+	// instance, so local search must not swap them.
+	reach []bool
+
+	// Static difference-constraint edges — the intra-instance (coeff 0)
+	// and cross-instance (coeff = lag ≥ 1) dependency edges — CSR-packed
+	// by source stage. Edge u→x with coefficient c encodes
+	// s_x ≥ s_u + t_u − c·P.
+	statHead  []int
+	statTo    []int
+	statCoeff []int
+
+	// Window edges of the order-independent relaxation (s_u ≥ s_v + t_v − P
+	// for distinct same-device stages v, u), CSR-packed by source, built
+	// lazily on the first relaxedFeasible call after bind.
+	winHead  []int
+	winTo    []int
+	winSeen  []int // dedup stamps, one per stage
+	winBuilt bool
+
+	// Device → stages CSR in ascending stage order (the canonical
+	// DeviceStages order). order/prefMem share this segment layout.
+	devHead   []int
+	devStages []int
+
+	// Per-device execution order state: order holds the stages of device d
+	// in execution order in order[devHead[d]:devHead[d+1]]; ordPos[d*k+i]
+	// is stage i's position within device d's order (−1 when absent);
+	// prefMem parallels order with entry[d] + the running memory sum —
+	// prefMem[x] is the device memory right after order[x] starts.
+	order   []int
+	ordPos  []int
+	prefMem []int
+
+	// SPFA state. dist is the working distance vector; feasDist holds the
+	// least fixpoint of the last feasible probe of the current minPeriod
+	// call (the warm-start base); qbuf is a FIFO ring of capacity k+1 with
+	// inq de-duplicating membership; cnt is the relaxation-chain length
+	// per stage — reaching k proves a positive cycle (infeasible period).
+	dist     []int
+	feasDist []int
+	qbuf     []int
+	qhead    int
+	qtail    int
+	qlen     int
+	inq      []bool
+	cnt      []int
+
+	// localSearch scratch: scan snapshots one device order for candidate
+	// generation; bestStarts holds the normalized start vector of the
+	// current incumbent order.
+	scan       []int
+	bestStarts []int
+
+	// Probe-effort counters, reset by bind and surfaced through
+	// Repetend/core.Stats: probes = feasibility probes run (one SPFA
+	// fixpoint computation each), relaxations = successful distance
+	// tightenings inside them, swaps = local-search candidate swaps that
+	// reached a period evaluation.
+	probes      int64
+	relaxations int64
+	swaps       int64
+}
+
+// growInts returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified; callers overwrite.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// bind attaches the engine to one repetend instance: it packs the
+// dependency edges of the assignment into CSR form, rebuilds the lag-zero
+// transitive closure, lays out the per-device stage segments, and resets
+// the probe counters. All buffers reuse prior capacity.
+func (e *periodEngine) bind(p *sched.Placement, a Assignment, entry []int, mem int) {
+	k, nd := p.K(), p.NumDevices
+	e.p, e.k, e.nd, e.mem = p, k, nd, mem
+	e.probes, e.relaxations, e.swaps = 0, 0, 0
+	e.winBuilt = false
+
+	e.times = growInts(e.times, k)
+	e.mems = growInts(e.mems, k)
+	hi := 0
+	for i := range p.Stages {
+		e.times[i] = p.Stages[i].Time
+		e.mems[i] = p.Stages[i].Mem
+		hi += p.Stages[i].Time
+	}
+	e.hiSum = hi
+	e.entry = append(e.entry[:0], entry...)
+
+	// Static edges: every dependency i→j is one edge with coefficient
+	// lag = r_i − r_j (0 = intra-instance, ≥1 = cross-instance).
+	nEdges := 0
+	for i := range p.Deps {
+		nEdges += len(p.Deps[i])
+	}
+	e.statHead = growInts(e.statHead, k+1)
+	e.statTo = growInts(e.statTo, nEdges)
+	e.statCoeff = growInts(e.statCoeff, nEdges)
+	pos := 0
+	for i, succs := range p.Deps {
+		e.statHead[i] = pos
+		for _, j := range succs {
+			e.statTo[pos] = j
+			e.statCoeff[pos] = a[i] - a[j]
+			pos++
+		}
+	}
+	e.statHead[k] = pos
+
+	// Lag-zero transitive closure (Floyd-Warshall on booleans; K is small).
+	e.reach = growBools(e.reach, k*k)
+	for i := range e.reach {
+		e.reach[i] = false
+	}
+	for i, succs := range p.Deps {
+		for _, j := range succs {
+			if a[i] == a[j] {
+				e.reach[i*k+j] = true
+			}
+		}
+	}
+	for m := 0; m < k; m++ {
+		for i := 0; i < k; i++ {
+			if !e.reach[i*k+m] {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if e.reach[m*k+j] {
+					e.reach[i*k+j] = true
+				}
+			}
+		}
+	}
+
+	// Device → stages CSR in ascending stage order, and the device-work
+	// period lower bound (Algorithm 1, GetLowerBound).
+	e.devHead = growInts(e.devHead, nd+1)
+	for d := 0; d <= nd; d++ {
+		e.devHead[d] = 0
+	}
+	slots := 0
+	for i := range p.Stages {
+		slots += len(p.Stages[i].Devices)
+		for _, d := range p.Stages[i].Devices {
+			e.devHead[d+1]++
+		}
+	}
+	for d := 0; d < nd; d++ {
+		e.devHead[d+1] += e.devHead[d]
+	}
+	e.devStages = growInts(e.devStages, slots)
+	// Fill segments in stage order using a moving cursor per device,
+	// borrowed from ordPos's first nd slots (overwritten by setOrders).
+	e.ordPos = growInts(e.ordPos, nd*k)
+	for d := 0; d < nd; d++ {
+		e.ordPos[d] = e.devHead[d]
+	}
+	for i := range p.Stages {
+		for _, d := range p.Stages[i].Devices {
+			e.devStages[e.ordPos[d]] = i
+			e.ordPos[d]++
+		}
+	}
+	e.lower = 1
+	for d := 0; d < nd; d++ {
+		w := 0
+		for x := e.devHead[d]; x < e.devHead[d+1]; x++ {
+			w += e.times[e.devStages[x]]
+		}
+		if w > e.lower {
+			e.lower = w
+		}
+	}
+	if e.hiSum < e.lower {
+		e.hiSum = e.lower
+	}
+
+	e.order = growInts(e.order, slots)
+	e.prefMem = growInts(e.prefMem, slots)
+	e.dist = growInts(e.dist, k)
+	e.feasDist = growInts(e.feasDist, k)
+	e.cnt = growInts(e.cnt, k)
+	e.inq = growBools(e.inq, k)
+	e.qbuf = growInts(e.qbuf, k+1)
+}
+
+// workLowerBound is max_d E_d's floor: no period can be smaller than the
+// busiest device's total work.
+func (e *periodEngine) workLowerBound() int { return e.lower }
+
+// buildWindow packs the order-independent device-window constraints: for
+// every ordered pair (v, u) of distinct stages sharing a device,
+// s_u ≥ s_v + t_v − P, deduplicated across devices. Built once per bind,
+// only when a bounded solve consults the relaxation.
+func (e *periodEngine) buildWindow() {
+	if e.winBuilt {
+		return
+	}
+	e.winBuilt = true
+	e.winHead = growInts(e.winHead, e.k+1)
+	e.winSeen = growInts(e.winSeen, e.k)
+	for i := 0; i < e.k; i++ {
+		e.winSeen[i] = -1
+	}
+	e.winTo = e.winTo[:0]
+	for v := 0; v < e.k; v++ {
+		e.winHead[v] = len(e.winTo)
+		for _, dd := range e.p.Stages[v].Devices {
+			d := int(dd)
+			for x := e.devHead[d]; x < e.devHead[d+1]; x++ {
+				u := e.devStages[x]
+				if u != v && e.winSeen[u] != v {
+					e.winSeen[u] = v
+					e.winTo = append(e.winTo, u)
+				}
+			}
+		}
+	}
+	e.winHead[e.k] = len(e.winTo)
+}
+
+// --- SPFA core -----------------------------------------------------------
+
+func (e *periodEngine) push(u int) {
+	e.qbuf[e.qtail] = u
+	e.qtail++
+	if e.qtail == len(e.qbuf) {
+		e.qtail = 0
+	}
+	e.qlen++
+}
+
+func (e *periodEngine) pop() int {
+	u := e.qbuf[e.qhead]
+	e.qhead++
+	if e.qhead == len(e.qbuf) {
+		e.qhead = 0
+	}
+	e.qlen--
+	return u
+}
+
+// relax applies one difference constraint s_v ≥ s_u + w. It reports false
+// when the relaxation chain through v reaches k edges — a repeated stage on
+// a strictly improving chain, i.e. a positive cycle: no period-P solution.
+func (e *periodEngine) relax(u, v, w int) bool {
+	d := e.dist[u] + w
+	if d <= e.dist[v] {
+		return true
+	}
+	e.dist[v] = d
+	e.relaxations++
+	e.cnt[v] = e.cnt[u] + 1
+	if e.cnt[v] >= e.k {
+		return false
+	}
+	if !e.inq[v] {
+		e.inq[v] = true
+		e.push(v)
+	}
+	return true
+}
+
+// seedCold resets dist to the all-zero vector and enqueues every stage —
+// the from-scratch start whose least fixpoint is the canonical minimal
+// start-time vector.
+func (e *periodEngine) seedCold() {
+	for i := 0; i < e.k; i++ {
+		e.dist[i] = 0
+		e.cnt[i] = 0
+		e.inq[i] = true
+		e.qbuf[i] = i
+	}
+	e.qhead, e.qtail, e.qlen = 0, e.k, e.k
+	if e.qtail == len(e.qbuf) {
+		e.qtail = 0
+	}
+}
+
+// seedWarm starts a probe at period P from feasDist, the least fixpoint of
+// the last feasible probe at some larger period P′ > P. Shrinking the
+// period only tightens the period-dependent constraints, so feasDist is
+// ≤ the new least fixpoint pointwise and relaxation from it converges to
+// exactly the same fixpoint as a cold start — after re-checking only the
+// constraints whose weight changed: the cross-instance dependency edges and
+// the per-device wrap-around edges. It reports false when the seeding
+// relaxations alone already prove a positive cycle; the caller must treat
+// the probe as infeasible rather than continue, because relax leaves the
+// tripped stage un-enqueued. (At probed periods ≥ the device-work lower
+// bound — always the case today — every period-dependent edge has
+// non-positive weight, so a positive cycle among seeded edges alone cannot
+// exist and this cannot fire; the propagation guards the invariant rather
+// than relying on it non-locally.)
+func (e *periodEngine) seedWarm(period int) bool {
+	copy(e.dist, e.feasDist)
+	for i := 0; i < e.k; i++ {
+		e.cnt[i] = 0
+		e.inq[i] = false
+	}
+	e.qhead, e.qtail, e.qlen = 0, 0, 0
+	for u := 0; u < e.k; u++ {
+		tu := e.times[u]
+		for x := e.statHead[u]; x < e.statHead[u+1]; x++ {
+			if c := e.statCoeff[x]; c > 0 {
+				if !e.relax(u, e.statTo[x], tu-c*period) {
+					return false
+				}
+			}
+		}
+	}
+	for d := 0; d < e.nd; d++ {
+		base, end := e.devHead[d], e.devHead[d+1]
+		if end-base > 1 {
+			last := e.order[end-1]
+			if !e.relax(last, e.order[base], e.times[last]-period) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// run drains the SPFA queue at the given period, relaxing each popped
+// stage's outgoing constraints: always the static dependency edges, plus
+// the device-window edges (window mode, the order-independent relaxation)
+// or the execution-order edges implied by the engine's current order
+// buffers (orders mode). It reports false on a positive cycle.
+func (e *periodEngine) run(period int, window, orders bool) bool {
+	e.probes++
+	for e.qlen > 0 {
+		u := e.pop()
+		e.inq[u] = false
+		tu := e.times[u]
+		for x := e.statHead[u]; x < e.statHead[u+1]; x++ {
+			if !e.relax(u, e.statTo[x], tu-e.statCoeff[x]*period) {
+				return false
+			}
+		}
+		if window {
+			for x := e.winHead[u]; x < e.winHead[u+1]; x++ {
+				if !e.relax(u, e.winTo[x], tu-period) {
+					return false
+				}
+			}
+		}
+		if orders {
+			for _, dd := range e.p.Stages[u].Devices {
+				d := int(dd)
+				base, end := e.devHead[d], e.devHead[d+1]
+				pu := e.ordPos[d*e.k+u]
+				if base+pu+1 < end {
+					// u immediately precedes its order successor.
+					if !e.relax(u, e.order[base+pu+1], tu) {
+						return false
+					}
+				} else if end-base > 1 {
+					// Device wrap-around: the last stage constrains the
+					// first stage of the next instance (span E_d ≤ P).
+					if !e.relax(u, e.order[base], tu-period) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// saveFeas records dist as the warm-start base by swapping the dist and
+// feasDist buffers (the stale contents of the other buffer are fully
+// overwritten by the next seed).
+func (e *periodEngine) saveFeas() {
+	e.dist, e.feasDist = e.feasDist, e.dist
+}
+
+// relaxedFeasible reports whether period P survives the order-independent
+// relaxation of the repetend constraint system: the dependency edges plus
+// the device-window edges, valid for every execution order. Every
+// per-order system contains a superset of these constraints and
+// feasibility is monotone in P, so a false result proves min period > P
+// for all per-device orders — without touching the solver.
+func (e *periodEngine) relaxedFeasible(period int) bool {
+	e.buildWindow()
+	e.seedCold()
+	return e.run(period, true, false)
+}
+
+// setOrdersFromStarts installs the per-device execution orders induced by
+// the given start times: each device's stages sorted by start, ties broken
+// by stage id (starts of same-device stages are distinct for any valid
+// instance schedule — exclusive execution — but the tie-break keeps the
+// orders a pure function of the start vector for arbitrary inputs). It
+// also computes the per-device prefix-memory sums the local search's delta
+// checks maintain. Mirrors ordersFromStarts.
+func (e *periodEngine) setOrdersFromStarts(starts []int) {
+	for x := range e.ordPos {
+		e.ordPos[x] = -1
+	}
+	for d := 0; d < e.nd; d++ {
+		base, end := e.devHead[d], e.devHead[d+1]
+		copy(e.order[base:end], e.devStages[base:end])
+		// In-place insertion sort by (start, stage id): segments are tiny
+		// and already id-sorted, and no sort.Slice closure allocates.
+		for x := base + 1; x < end; x++ {
+			id := e.order[x]
+			y := x
+			for y > base {
+				prev := e.order[y-1]
+				if starts[prev] < starts[id] || (starts[prev] == starts[id] && prev < id) {
+					break
+				}
+				e.order[y] = prev
+				y--
+			}
+			e.order[y] = id
+		}
+		m := e.entry[d]
+		for x := base; x < end; x++ {
+			id := e.order[x]
+			e.ordPos[d*e.k+id] = x - base
+			m += e.mems[id]
+			e.prefMem[x] = m
+		}
+	}
+}
+
+// minPeriod binary-searches the smallest feasible period for the engine's
+// current orders. A positive bound restricts the search to periods ≤
+// bound: when even the bound is infeasible the call returns periodPruned
+// without locating the true minimum. The device-work lower bound is tried
+// first, so orders that achieve it (the common case near convergence) cost
+// a single probe. On periodOK the least-fixpoint start vector is held in
+// feasDist (retrieve with appendStarts).
+//
+// Probe discipline: the first probe of a call is always cold — feasDist
+// may hold a fixpoint of a *different* order system from a previous call,
+// which is not a valid warm base. Once a probe of this call succeeds,
+// every later probe targets a smaller period and warm-starts from the
+// last feasible fixpoint. Bounded calls probe their ceiling first (one
+// cold probe decides the common pruned case); unbounded calls try the
+// device-work lower bound first (the common case near convergence).
+func (e *periodEngine) minPeriod(bound int) (int, periodStatus) {
+	lo := e.lower
+	if bound > 0 && lo > bound {
+		return 0, periodPruned
+	}
+	hi := e.hiSum
+	if bound > 0 {
+		// Bounded search — the local-search hot path, where most
+		// candidates are rejected: probe the ceiling first, so the common
+		// pruned case costs a single cold probe, and every later probe
+		// (including the lower-bound fast path) walks down warm.
+		ceil := hi
+		if bound < hi {
+			ceil = bound
+		}
+		if e.seedCold(); !e.run(ceil, false, true) {
+			if bound < hi {
+				return 0, periodPruned
+			}
+			// Not even the sequential ceiling admits a solution: the
+			// order system is cyclic at every period.
+			return 0, periodInfeasible
+		}
+		e.saveFeas()
+		if lo == ceil {
+			return lo, periodOK
+		}
+		if e.seedWarm(lo) && e.run(lo, false, true) {
+			e.saveFeas()
+			return lo, periodOK
+		}
+		hi = ceil
+	} else {
+		// Fast path: stop immediately at the device-work lower bound.
+		if e.seedCold(); e.run(lo, false, true) {
+			e.saveFeas()
+			return lo, periodOK
+		}
+		if e.seedCold(); !e.run(hi, false, true) {
+			return 0, periodInfeasible
+		}
+		e.saveFeas()
+	}
+	lo++ // the probe above proved lo itself infeasible
+	for lo < hi {
+		mid := (lo + hi) / 2
+		// mid < hi and hi always carries the last feasible probe, so the
+		// warm start is valid: feasDist is the fixpoint at a larger period.
+		if e.seedWarm(mid) && e.run(mid, false, true) {
+			e.saveFeas()
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Loop exit has lo == hi == the smallest feasible probed period, whose
+	// fixpoint is already in feasDist — no confirming re-probe needed.
+	return lo, periodOK
+}
+
+// appendStarts appends the normalized (minimum 0) start vector of the last
+// feasible probe to dst[:0] and returns it.
+func (e *periodEngine) appendStarts(dst []int) []int {
+	dst = append(dst[:0], e.feasDist[:e.k]...)
+	normalize(dst)
+	return dst
+}
+
+// applySwap exchanges adjacent stages u and v in every device order where
+// both appear. It reports false — mutating nothing — when they appear
+// non-adjacently somewhere (the swap is undefined there). On success the
+// affected prefix-memory entries are updated; calling applySwap(u, v)
+// again undoes the swap exactly.
+func (e *periodEngine) applySwap(u, v int) bool {
+	for _, dd := range e.p.Stages[u].Devices {
+		d := int(dd)
+		pv := e.ordPos[d*e.k+v]
+		if pv < 0 {
+			continue
+		}
+		pu := e.ordPos[d*e.k+u]
+		if pu-pv != 1 && pv-pu != 1 {
+			return false
+		}
+	}
+	for _, dd := range e.p.Stages[u].Devices {
+		d := int(dd)
+		pv := e.ordPos[d*e.k+v]
+		if pv < 0 {
+			continue
+		}
+		pu := e.ordPos[d*e.k+u]
+		base := e.devHead[d]
+		e.order[base+pu], e.order[base+pv] = v, u
+		e.ordPos[d*e.k+u], e.ordPos[d*e.k+v] = pv, pu
+		// Only the prefix between the swapped pair changes: the sums
+		// before min(pu,pv) and from max(pu,pv) onward are unaffected.
+		x := pu
+		if pv < x {
+			x = pv
+		}
+		prev := e.entry[d]
+		if x > 0 {
+			prev = e.prefMem[base+x-1]
+		}
+		e.prefMem[base+x] = prev + e.mems[e.order[base+x]]
+	}
+	return true
+}
+
+// swapMemoryOK checks the memory feasibility of the just-applied swap of u
+// and v. The engine's orders are memory-feasible by invariant (the initial
+// orders come from a memory-respecting instance schedule and every
+// accepted swap re-established the check), so only the single changed
+// prefix per shared device needs testing.
+func (e *periodEngine) swapMemoryOK(u, v int) bool {
+	if e.mem == sched.Unbounded {
+		return true
+	}
+	for _, dd := range e.p.Stages[u].Devices {
+		d := int(dd)
+		pv := e.ordPos[d*e.k+v]
+		if pv < 0 {
+			continue
+		}
+		pu := e.ordPos[d*e.k+u]
+		x := pu
+		if pv < x {
+			x = pv
+		}
+		if e.prefMem[e.devHead[d]+x] > e.mem {
+			return false
+		}
+	}
+	return true
+}
+
+// localSearch improves the period by swapping adjacent order pairs that
+// are not dependency-ordered, evaluating each candidate in place on the
+// engine's order buffers (swap, delta memory check, bounded minPeriod) and
+// undoing rejected swaps. Only a strict improvement is useful, so each
+// inner search runs with bound period−1 and bails out as soon as the swap
+// cannot beat the incumbent order. Passes are bounded by the improvement
+// rate — every non-final pass improves the period by at least one tick, so
+// at most period−lower passes can make progress — and the search stops
+// immediately once the device-work lower bound is reached. Cancellation
+// stops further candidates; the best ordering found so far is kept (the
+// engine's orders and bestStarts always describe the incumbent).
+//
+// All bounds here derive from per-assignment state only (never from a
+// shared sweep incumbent), so the result is a pure function of the
+// assignment — a requirement for worker-count-independent sweeps. On
+// return bestStarts holds the incumbent's normalized start vector.
+func (e *periodEngine) localSearch(ctx context.Context, period int) int {
+	lower := e.lower
+	maxPasses := e.k * e.k
+	if maxPasses > period-lower {
+		maxPasses = period - lower
+	}
+	for pass := 0; pass < maxPasses && period > lower && ctx.Err() == nil; pass++ {
+		improved := false
+		for d := 0; d < e.nd; d++ {
+			base, end := e.devHead[d], e.devHead[d+1]
+			// Candidate pairs come from a snapshot of the device order as
+			// of the start of this device's scan: an accepted swap changes
+			// the live order, and a snapshot pair that is no longer
+			// adjacent is skipped by applySwap.
+			e.scan = append(e.scan[:0], e.order[base:end]...)
+			for x := 0; x+1 < len(e.scan); x++ {
+				if ctx.Err() != nil {
+					return period
+				}
+				u, v := e.scan[x], e.scan[x+1]
+				if e.reach[u*e.k+v] {
+					continue // dependency-forced order
+				}
+				if !e.applySwap(u, v) {
+					continue
+				}
+				if !e.swapMemoryOK(u, v) {
+					e.applySwap(u, v) // undo
+					continue
+				}
+				e.swaps++
+				p2, st := e.minPeriod(period - 1)
+				if st == periodOK {
+					period = p2
+					e.bestStarts = e.appendStarts(e.bestStarts)
+					improved = true
+				} else {
+					e.applySwap(u, v) // undo
+				}
+				if periodAudit != nil {
+					periodAudit(e, u, v, st == periodOK)
+				}
+				if st == periodOK && period <= lower {
+					return period
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return period
+}

@@ -29,7 +29,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -222,6 +221,21 @@ type Repetend struct {
 	// or wall-clock budget and fell back to its incumbent, so Starts (and
 	// the derived period) are budget-degraded rather than proven optimal.
 	Truncated bool
+	// PeriodProbes is the number of period-feasibility probes — one
+	// difference-constraint fixpoint computation each — the evaluation
+	// ran across the order-independent relaxation, the minPeriod binary
+	// searches, and local search. Like SolverNodes, the counters exist
+	// only on successfully solved repetends: evaluations that end in
+	// ErrPruned/ErrInfeasible return no Repetend and their (single-probe)
+	// effort is not reported anywhere.
+	PeriodProbes int64
+	// PeriodRelaxations is the number of successful distance tightenings
+	// inside those probes — the budget-independent measure of period-
+	// machinery effort (the analogue of SolverNodes for the solver).
+	PeriodRelaxations int64
+	// LocalSearchSwaps is the number of candidate adjacent-order swaps
+	// local search applied and evaluated (kept or undone).
+	LocalSearchSwaps int64
 }
 
 // SolveOptions configures repetend solving.
@@ -250,6 +264,13 @@ type SolveOptions struct {
 	// storage instead of rebuilding them; nil falls back to the solver
 	// package's shared pool. Results are identical either way.
 	Pool *solver.Pool
+	// PeriodPool, when non-nil, supplies recycled period-feasibility
+	// engines for the repetend period evaluation — the period-machinery
+	// analogue of Pool. A sweep shares one so its thousands of
+	// feasibility probes reuse edge CSRs, dist vectors and order buffers;
+	// nil falls back to the package's shared pool. Results are identical
+	// either way.
+	PeriodPool *PeriodPool
 	// PeriodUpperBound, when positive, is an incumbent period held by the
 	// caller: only repetends with Period ≤ PeriodUpperBound are useful, and
 	// Solve returns ErrPruned as soon as it proves the assignment cannot
@@ -407,9 +428,11 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 			}
 		}
 	}
-	inst := newInstance(p, a, entry, mem)
+	eng := opts.PeriodPool.get()
+	defer eng.release()
+	eng.bind(p, a, entry, mem)
 	bound := opts.PeriodUpperBound
-	if bound > 0 && (inst.workLowerBound() > bound || !inst.periodFeasibleRelaxed(bound)) {
+	if bound > 0 && (eng.workLowerBound() > bound || !eng.relaxedFeasible(bound)) {
 		// The order-independent bounds already rule the incumbent out: no
 		// per-device order can rescue this assignment, so skip the
 		// expensive instance solve entirely.
@@ -497,7 +520,7 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 		r.Starts = starts
 		r.Period = r.SimplePeriod
 	} else {
-		orders := ordersFromStarts(p, starts)
+		eng.setOrdersFromStarts(starts)
 		// Bounding the initial period search by the incumbent is only sound
 		// when local search cannot improve the order afterwards; with local
 		// search enabled the true period is needed as its starting point.
@@ -505,19 +528,23 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 		if opts.DisableLocalSearch {
 			initBound = bound
 		}
-		period, tightStarts, status := inst.minPeriod(orders, initBound)
+		period, status := eng.minPeriod(initBound)
 		switch status {
 		case periodPruned:
 			return nil, fmt.Errorf("%w: order period > %d", ErrPruned, bound)
 		case periodInfeasible:
 			return nil, fmt.Errorf("repetend: period repair failed for a feasible order")
 		}
+		eng.bestStarts = eng.appendStarts(eng.bestStarts)
 		if !opts.DisableLocalSearch {
-			period, tightStarts, orders = inst.localSearch(ctx, orders, period, tightStarts)
+			period = eng.localSearch(ctx, period)
 		}
-		r.Starts = tightStarts
+		r.Starts = append([]int(nil), eng.bestStarts...)
 		r.Period = period
 	}
+	r.PeriodProbes = eng.probes
+	r.PeriodRelaxations = eng.relaxations
+	r.LocalSearchSwaps = eng.swaps
 	r.computeSpans()
 	if bound > 0 && r.Period > bound {
 		return nil, fmt.Errorf("%w: period %d > %d", ErrPruned, r.Period, bound)
@@ -617,328 +644,4 @@ func (r *Repetend) SteadyBubbleRate() float64 {
 		total += r.P.DeviceWork(sched.DeviceID(d))
 	}
 	return 1 - float64(total)/float64(r.P.NumDevices*r.Period)
-}
-
-// instance carries the dependency structure of one repetend instance.
-type instance struct {
-	p     *sched.Placement
-	a     Assignment
-	entry []int
-	mem   int
-	// intra edges (same micro) and cross edges with lag ≥ 1.
-	intra [][2]int // (i, j): s_j ≥ s_i + t_i
-	cross []crossEdge
-	reach [][]bool // transitive closure over intra edges
-}
-
-type crossEdge struct {
-	from, to, lag int
-}
-
-func newInstance(p *sched.Placement, a Assignment, entry []int, mem int) *instance {
-	in := &instance{p: p, a: a, entry: entry, mem: mem}
-	k := p.K()
-	in.reach = make([][]bool, k)
-	for i := range in.reach {
-		in.reach[i] = make([]bool, k)
-	}
-	for i, succs := range p.Deps {
-		for _, j := range succs {
-			switch lag := a[i] - a[j]; {
-			case lag == 0:
-				in.intra = append(in.intra, [2]int{i, j})
-				in.reach[i][j] = true
-			case lag > 0:
-				in.cross = append(in.cross, crossEdge{from: i, to: j, lag: lag})
-			}
-		}
-	}
-	// Transitive closure (Floyd-Warshall on booleans; K is small).
-	for m := 0; m < k; m++ {
-		for i := 0; i < k; i++ {
-			if !in.reach[i][m] {
-				continue
-			}
-			for j := 0; j < k; j++ {
-				if in.reach[m][j] {
-					in.reach[i][j] = true
-				}
-			}
-		}
-	}
-	return in
-}
-
-// windowEdges builds the order-independent device-window constraints: for
-// every ordered pair (v, u) of distinct stages sharing a device,
-// s_u ≥ s_v + t_v − P (every block of a device starts within one
-// period-length window of the device's first start, in any execution
-// order). Built on demand — only bounded solves consult the relaxation.
-func (in *instance) windowEdges() []diffEdge {
-	k := in.p.K()
-	seen := make([][]bool, k)
-	for i := range seen {
-		seen[i] = make([]bool, k)
-	}
-	var edges []diffEdge
-	for d := 0; d < in.p.NumDevices; d++ {
-		ids := in.p.DeviceStages(sched.DeviceID(d))
-		for _, v := range ids {
-			for _, u := range ids {
-				if u == v || seen[v][u] {
-					continue
-				}
-				seen[v][u] = true
-				edges = append(edges, diffEdge{from: v, to: u, base: in.p.Stages[v].Time, coeff: 1})
-			}
-		}
-	}
-	return edges
-}
-
-func ordersFromStarts(p *sched.Placement, starts []int) [][]int {
-	orders := make([][]int, p.NumDevices)
-	for d := 0; d < p.NumDevices; d++ {
-		ids := p.DeviceStages(sched.DeviceID(d))
-		sort.Slice(ids, func(x, y int) bool { return starts[ids[x]] < starts[ids[y]] })
-		orders[d] = ids
-	}
-	return orders
-}
-
-// diffEdge is a difference constraint s_to ≥ s_from + base − coeff·P.
-type diffEdge struct {
-	from, to, base, coeff int
-}
-
-// buildEdges assembles the difference-constraint system for the given
-// per-device orders; period-dependent weights carry a coefficient.
-func (in *instance) buildEdges(orders [][]int) []diffEdge {
-	edges := make([]diffEdge, 0, len(in.intra)+len(in.cross)+2*in.p.K())
-	for _, e := range in.intra {
-		edges = append(edges, diffEdge{e[0], e[1], in.p.Stages[e[0]].Time, 0})
-	}
-	for _, o := range orders {
-		for x := 0; x+1 < len(o); x++ {
-			edges = append(edges, diffEdge{o[x], o[x+1], in.p.Stages[o[x]].Time, 0})
-		}
-		if len(o) > 1 {
-			first, last := o[0], o[len(o)-1]
-			edges = append(edges, diffEdge{last, first, in.p.Stages[last].Time, 1})
-		}
-	}
-	for _, c := range in.cross {
-		edges = append(edges, diffEdge{c.from, c.to, in.p.Stages[c.from].Time, c.lag})
-	}
-	return edges
-}
-
-// feasibleEdges runs Bellman-Ford on the difference constraints at period P
-// and fills dist with the minimal non-negative start times; it reports ok =
-// false on a positive cycle (infeasible period).
-func feasibleEdges(edges []diffEdge, dist []int, period int) bool {
-	for i := range dist {
-		dist[i] = 0
-	}
-	for iter := 0; iter <= len(dist); iter++ {
-		changed := false
-		for _, e := range edges {
-			if d := dist[e.from] + e.base - e.coeff*period; d > dist[e.to] {
-				dist[e.to] = d
-				changed = true
-			}
-		}
-		if !changed {
-			return true
-		}
-	}
-	return false
-}
-
-// memoryOK checks the per-device prefix memory of the given orders against
-// the instance entry memory.
-func (in *instance) memoryOK(orders [][]int) bool {
-	if in.mem == sched.Unbounded {
-		return true
-	}
-	for d, o := range orders {
-		m := in.entry[d]
-		for _, i := range o {
-			m += in.p.Stages[i].Mem
-			if m > in.mem {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// periodFeasibleRelaxed reports whether period P survives the
-// order-independent relaxation of the repetend constraint system: the
-// dependency edges (s_j ≥ s_i + t_i − lag·P) plus the device-window edges
-// (s_u ≥ s_v + t_v − P for distinct same-device stages, valid for every
-// execution order). Every per-order system contains a superset of these
-// constraints and feasibility is monotone in P, so a false result proves
-// min period > P for all per-device orders — without touching the solver.
-// Assignments with small forward/backward lags (few micro-batches in
-// flight) fail this at realistic incumbents, which is what lets the sweep
-// discard the expensive, hopeless candidates instantly.
-func (in *instance) periodFeasibleRelaxed(period int) bool {
-	window := in.windowEdges()
-	edges := make([]diffEdge, 0, len(in.intra)+len(in.cross)+len(window))
-	for _, e := range in.intra {
-		edges = append(edges, diffEdge{e[0], e[1], in.p.Stages[e[0]].Time, 0})
-	}
-	for _, c := range in.cross {
-		edges = append(edges, diffEdge{c.from, c.to, in.p.Stages[c.from].Time, c.lag})
-	}
-	edges = append(edges, window...)
-	dist := make([]int, in.p.K())
-	return feasibleEdges(edges, dist, period)
-}
-
-// workLowerBound is max_d E_d's floor: no period can be smaller than the
-// busiest device's total work (Algorithm 1, GetLowerBound).
-func (in *instance) workLowerBound() int {
-	lo := 1
-	for d := 0; d < in.p.NumDevices; d++ {
-		if w := in.p.DeviceWork(sched.DeviceID(d)); w > lo {
-			lo = w
-		}
-	}
-	return lo
-}
-
-// periodStatus reports how a bounded minPeriod call ended.
-type periodStatus int
-
-const (
-	// periodOK: the minimum feasible period (≤ bound, if set) was found.
-	periodOK periodStatus = iota
-	// periodPruned: a bound was set and the minimum period provably
-	// exceeds it; the order is not necessarily infeasible.
-	periodPruned
-	// periodInfeasible: the constraint system has no period at all
-	// (cyclic order) — a solver-order repair bug, not a prune.
-	periodInfeasible
-)
-
-// minPeriod binary-searches the smallest feasible period for fixed orders.
-// A positive bound restricts the search to periods ≤ bound: when even the
-// bound is infeasible the call returns periodPruned without locating the
-// true minimum. The device-work lower bound is tried first, so orders that
-// achieve it (the common case near convergence) cost a single feasibility
-// check instead of a full binary search.
-func (in *instance) minPeriod(orders [][]int, bound int) (int, []int, periodStatus) {
-	lo := in.workLowerBound()
-	if bound > 0 && lo > bound {
-		return 0, nil, periodPruned
-	}
-	hi := 0
-	for i := range in.p.Stages {
-		hi += in.p.Stages[i].Time
-	}
-	if hi < lo {
-		hi = lo
-	}
-	edges := in.buildEdges(orders)
-	dist := make([]int, in.p.K())
-	// Fast path: stop immediately at the device-work lower bound.
-	if feasibleEdges(edges, dist, lo) {
-		starts := append([]int(nil), dist...)
-		normalize(starts)
-		return lo, starts, periodOK
-	}
-	if bound > 0 && bound < hi {
-		if !feasibleEdges(edges, dist, bound) {
-			return 0, nil, periodPruned
-		}
-		hi = bound
-	} else if !feasibleEdges(edges, dist, hi) {
-		return 0, nil, periodInfeasible
-	}
-	lo++ // the fast path proved lo itself infeasible
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if feasibleEdges(edges, dist, mid) {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	if !feasibleEdges(edges, dist, lo) {
-		return 0, nil, periodInfeasible
-	}
-	starts := append([]int(nil), dist...)
-	normalize(starts)
-	return lo, starts, periodOK
-}
-
-// localSearch improves the period by swapping adjacent order pairs that are
-// not dependency-ordered, re-checking memory and period after each swap.
-// Candidate evaluations are bounded by the current period: only a strict
-// improvement is useful, so each inner search runs with bound period−1 and
-// bails out as soon as the swap cannot beat the incumbent order. The search
-// stops immediately once the device-work lower bound is reached.
-// Cancellation stops further passes; the best ordering found so far is kept.
-//
-// All bounds here derive from per-assignment state only (never from a
-// shared sweep incumbent), so the result is a pure function of the
-// assignment — a requirement for worker-count-independent sweeps.
-func (in *instance) localSearch(ctx context.Context, orders [][]int, period int, starts []int) (int, []int, [][]int) {
-	maxPasses := in.p.K() * in.p.K()
-	lower := in.workLowerBound()
-	for pass := 0; pass < maxPasses && period > lower && ctx.Err() == nil; pass++ {
-		improved := false
-		for d := range orders {
-			o := orders[d]
-			for x := 0; x+1 < len(o); x++ {
-				u, v := o[x], o[x+1]
-				if in.reach[u][v] {
-					continue // dependency-forced order
-				}
-				cand := swapEverywhere(orders, u, v)
-				if cand == nil || !in.memoryOK(cand) {
-					continue
-				}
-				if p2, s2, st := in.minPeriod(cand, period-1); st == periodOK {
-					orders, period, starts = cand, p2, s2
-					improved = true
-					if period <= lower {
-						return period, starts, orders
-					}
-				}
-			}
-		}
-		if !improved {
-			break
-		}
-	}
-	return period, starts, orders
-}
-
-// swapEverywhere swaps u and v in every device order where both appear; it
-// returns nil when they appear non-adjacently somewhere (swap undefined).
-func swapEverywhere(orders [][]int, u, v int) [][]int {
-	out := make([][]int, len(orders))
-	for d, o := range orders {
-		iu, iv := -1, -1
-		for x, id := range o {
-			if id == u {
-				iu = x
-			}
-			if id == v {
-				iv = x
-			}
-		}
-		cp := append([]int(nil), o...)
-		if iu >= 0 && iv >= 0 {
-			if iv-iu != 1 && iu-iv != 1 {
-				return nil
-			}
-			cp[iu], cp[iv] = cp[iv], cp[iu]
-		}
-		out[d] = cp
-	}
-	return out
 }
