@@ -5,6 +5,7 @@ package tessel_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"tessel"
@@ -140,6 +141,34 @@ func BenchmarkSolverScaling(b *testing.B) {
 			}
 			reportNodeThroughput(b, nodes)
 		})
+	}
+}
+
+// BenchmarkSolverParallel measures the deterministic root-split search
+// across worker counts on the solver-scaling instances. On a multi-core
+// machine the w4/w8 variants show the wall-clock speedup over w1; on any
+// machine the nodes/op metric shows the fixed price of the split (each
+// job's private dominance memo re-derives knowledge the sequential memo
+// shares, so jobs-mode node totals exceed BenchmarkSolverScaling's).
+// Schedules are byte-identical across all variants — only the time and
+// node columns move.
+func BenchmarkSolverParallel(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		tasks := solverTasks(b, n)
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", map[int]string{2: "nmb2", 4: "nmb4", 6: "nmb6"}[n], w), func(b *testing.B) {
+				b.ReportAllocs()
+				var nodes int64
+				for i := 0; i < b.N; i++ {
+					res, err := solver.Solve(context.Background(), tasks, solver.Options{Workers: w})
+					if err != nil || !res.Optimal {
+						b.Fatalf("res=%+v err=%v", res, err)
+					}
+					nodes += res.Nodes
+				}
+				reportNodeThroughput(b, nodes)
+			})
+		}
 	}
 }
 

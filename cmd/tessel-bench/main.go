@@ -22,11 +22,16 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
-		only  = flag.String("only", "", "run a single experiment (comma-separated list), e.g. fig11,table2")
+		quick   = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		only    = flag.String("only", "", "run a single experiment (comma-separated list), e.g. fig11,table2")
+		solverW = flag.Int("solver-workers", 0, "per-solve branch-and-bound workers (0 = auto)")
 	)
 	flag.Parse()
-	mode := experiments.Mode{Quick: *quick}
+	if *solverW < 0 {
+		fmt.Fprintf(os.Stderr, "-solver-workers must be non-negative, got %d\n", *solverW)
+		os.Exit(2)
+	}
+	mode := experiments.Mode{Quick: *quick, SolverWorkers: *solverW}
 	if *only == "" {
 		if err := experiments.RunAll(os.Stdout, mode); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -55,15 +55,19 @@ type searchRequest struct {
 }
 
 type searchRequestOptions struct {
-	N                  int   `json:"n"`
-	Memory             int   `json:"memory"`
-	MaxNR              int   `json:"max_nr"`
-	MaxAssignments     int   `json:"max_assignments"`
-	SolverNodes        int64 `json:"solver_nodes"`
-	SolverTimeoutMS    int64 `json:"solver_timeout_ms"`
-	DisableLazy        bool  `json:"disable_lazy"`
-	SimpleCompaction   bool  `json:"simple_compaction"`
-	DisableLocalSearch bool  `json:"disable_local_search"`
+	N               int   `json:"n"`
+	Memory          int   `json:"memory"`
+	MaxNR           int   `json:"max_nr"`
+	MaxAssignments  int   `json:"max_assignments"`
+	SolverNodes     int64 `json:"solver_nodes"`
+	SolverTimeoutMS int64 `json:"solver_timeout_ms"`
+	// SolverWorkers is the per-solve branch-and-bound worker count: ≥ 1
+	// pins it, 0 forces auto, absent uses the server's -solver-workers
+	// default. Negative values are rejected.
+	SolverWorkers      *int `json:"solver_workers"`
+	DisableLazy        bool `json:"disable_lazy"`
+	SimpleCompaction   bool `json:"simple_compaction"`
+	DisableLocalSearch bool `json:"disable_local_search"`
 }
 
 type searchResponse struct {
@@ -102,9 +106,12 @@ type searchStatsJSON struct {
 	// LocalSearchSwaps counts candidate order swaps the repetend local
 	// search evaluated.
 	LocalSearchSwaps int64 `json:"local_search_swaps"`
-	EarlyExit        bool  `json:"early_exit"`
-	Truncated        bool  `json:"truncated"`
-	TotalMS          int64 `json:"total_ms"`
+	// SolverWorkers is the effective per-solve branch-and-bound worker
+	// count the repetend instance solves ran with (0 = single-threaded).
+	SolverWorkers int   `json:"solver_workers"`
+	EarlyExit     bool  `json:"early_exit"`
+	Truncated     bool  `json:"truncated"`
+	TotalMS       int64 `json:"total_ms"`
 }
 
 type errorResponse struct {
@@ -118,6 +125,7 @@ type server struct {
 	searchTimeout time.Duration // per-request deadline
 	solverTimeout time.Duration // default per-solve budget
 	maxN          int           // cap on requested micro-batches
+	solverWorkers int           // default per-solve worker count (0 = auto)
 }
 
 // runServe is the entry point of `tessel serve`.
@@ -130,8 +138,12 @@ func runServe(args []string) {
 		solverTimeout = fs.Duration("solver-timeout", 10*time.Second, "default per-solve budget when the request sets none")
 		maxN          = fs.Int("max-n", DefaultMaxN, "largest micro-batch count a request may ask for")
 		maxSearches   = fs.Int("max-concurrent-searches", 2, "cold searches running at once (each saturates the CPU; 0 = unlimited)")
+		solverWorkers = fs.Int("solver-workers", 0, "default per-solve branch-and-bound workers when the request sets none (0 = auto)")
 	)
 	fs.Parse(args)
+	if *solverWorkers < 0 {
+		log.Fatalf("tessel serve: -solver-workers must be non-negative, got %d", *solverWorkers)
+	}
 
 	s := &server{
 		engine: tessel.NewEngine(tessel.EngineOptions{
@@ -141,6 +153,7 @@ func runServe(args []string) {
 		searchTimeout: *searchTimeout,
 		solverTimeout: *solverTimeout,
 		maxN:          *maxN,
+		solverWorkers: *solverWorkers,
 	}
 
 	srv := &http.Server{
@@ -232,12 +245,21 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		MaxAssignments:     req.Options.MaxAssignments,
 		SolverNodes:        req.Options.SolverNodes,
 		SolverTimeout:      s.solverTimeout,
+		SolverWorkers:      s.solverWorkers,
 		DisableLazy:        req.Options.DisableLazy,
 		SimpleCompaction:   req.Options.SimpleCompaction,
 		DisableLocalSearch: req.Options.DisableLocalSearch,
 	}
 	if req.Options.SolverTimeoutMS > 0 {
 		opts.SolverTimeout = time.Duration(req.Options.SolverTimeoutMS) * time.Millisecond
+	}
+	if req.Options.SolverWorkers != nil {
+		if *req.Options.SolverWorkers < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("solver_workers must be non-negative, got %d", *req.Options.SolverWorkers))
+			return
+		}
+		opts.SolverWorkers = *req.Options.SolverWorkers
 	}
 
 	ctx := r.Context()
@@ -294,6 +316,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			PeriodProbes:      res.Stats.PeriodProbes,
 			PeriodRelaxations: res.Stats.PeriodRelaxations,
 			LocalSearchSwaps:  res.Stats.LocalSearchSwaps,
+			SolverWorkers:     res.Stats.SolverWorkers,
 			EarlyExit:         res.Stats.EarlyExit,
 			Truncated:         res.Stats.Truncated,
 			TotalMS:           res.Stats.Total.Milliseconds(),
@@ -323,6 +346,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shared":    st.Shared,
 		"evictions": st.Evictions,
 		"entries":   st.Entries,
+		// The configured per-solve worker default and what it resolves to
+		// for a parallel-eligible solve on this machine (0 = serial).
+		"solver_workers":           s.solverWorkers,
+		"solver_workers_effective": tessel.ResolveSolverWorkers(s.solverWorkers, tessel.ParallelSolveTaskThreshold),
 	})
 }
 

@@ -170,6 +170,76 @@ func TestServeNegativeN(t *testing.T) {
 	}
 }
 
+// TestServeSolverWorkers: the solver_workers request field reaches the
+// engine (negative values 400 cleanly, explicit counts share one cache
+// entry), the per-search stats report the effective count, and /v1/stats
+// exposes the server default and its machine resolution.
+func TestServeSolverWorkers(t *testing.T) {
+	s := newTestServer(t)
+	post := func(workers int) searchResponse {
+		t.Helper()
+		body, err := json.Marshal(map[string]any{
+			"placement": json.RawMessage(placementJSON(t)),
+			"options":   map[string]any{"n": 4, "solver_workers": workers},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := postSearch(t, s, string(body))
+		if w.Code != 200 {
+			t.Fatalf("solver_workers=%d status %d: %s", workers, w.Code, w.Body.String())
+		}
+		var resp searchResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	neg, err := json.Marshal(map[string]any{
+		"placement": json.RawMessage(placementJSON(t)),
+		"options":   map[string]any{"n": 4, "solver_workers": -2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := postSearch(t, s, string(neg)); w.Code != 400 {
+		t.Fatalf("negative solver_workers status %d: %s", w.Code, w.Body.String())
+	}
+
+	first := post(2)
+	if first.CacheHit {
+		t.Fatal("first explicit-workers search hit the cache")
+	}
+	if first.Stats.SolverWorkers != 2 {
+		t.Fatalf("stats solver_workers = %d, want 2", first.Stats.SolverWorkers)
+	}
+	second := post(8)
+	if !second.CacheHit {
+		t.Fatal("explicit worker counts 2 and 8 did not share a cache entry")
+	}
+	if second.Makespan != first.Makespan {
+		t.Fatalf("makespan changed across worker counts: %d vs %d", second.Makespan, first.Makespan)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	s.mux().ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("/v1/stats status %d", w.Code)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["solver_workers"]; !ok {
+		t.Fatal("/v1/stats missing solver_workers")
+	}
+	if _, ok := stats["solver_workers_effective"]; !ok {
+		t.Fatal("/v1/stats missing solver_workers_effective")
+	}
+}
+
 // TestServeDisableLocalSearch: the disable_local_search option reaches the
 // engine — a request differing only in that flag must run its own search
 // (distinct cache key), not be served from the other flavor's cache entry.

@@ -87,6 +87,14 @@ type Options struct {
 	// enumeration order and breaks period ties by the canonically smallest
 	// assignment — so Workers only trades wall-clock time for CPU.
 	Workers int
+	// SolverWorkers requests parallel branch-and-bound *inside* each exact
+	// solve (instance makespan, completion phases, time-optimal baseline):
+	// ≥ 1 fixes the per-solve worker count, 0 lets the solver decide per
+	// solve (parallel only for large task systems on multi-core machines),
+	// negative forces single-threaded search. Orthogonal to Workers, which
+	// parallelizes *across* assignments. Results are byte-identical for
+	// every explicit count ≥ 1; see solver.ResolveWorkers.
+	SolverWorkers int
 }
 
 // PhaseDurations records where search time went (Figure 10(a)).
@@ -141,6 +149,11 @@ type Stats struct {
 	Truncated bool
 	// NRSwept is the largest N_R the sweep reached.
 	NRSwept int
+	// SolverWorkers is the effective per-solve branch-and-bound worker
+	// count the repetend instance solves ran with (0 = single-threaded) —
+	// Options.SolverWorkers after solver.ResolveWorkers applied the
+	// task-count and core-count auto rule.
+	SolverWorkers int
 	// Phase breaks the search time down by phase.
 	Phase PhaseDurations
 	// Total is the wall-clock search time.
@@ -264,10 +277,12 @@ func Search(ctx context.Context, p *sched.Placement, opts Options) (*Result, err
 		SolverTimeout:      opts.SolverTimeout,
 		SimpleCompaction:   opts.SimpleCompaction,
 		DisableLocalSearch: opts.DisableLocalSearch,
+		SolverWorkers:      opts.SolverWorkers,
 		Pool:               pool,
 		PeriodPool:         repetend.NewPeriodPool(),
 		Cache:              repetend.NewSolveCache(),
 	}
+	res.Stats.SolverWorkers = solver.ResolveWorkers(opts.SolverWorkers, p.K())
 
 	for nr := 1; nr <= maxNR; nr++ {
 		res.Stats.NRSwept = nr
@@ -605,7 +620,7 @@ func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repete
 		SatisfyOnly: !opts.DisableLazy,
 	}
 	t0 := time.Now()
-	warmOK, warmTrunc, err := phaseFeasible(ctx, p, warm, nil, nil, solveOpts, pool)
+	warmOK, warmTrunc, err := phaseFeasible(ctx, p, warm, nil, nil, solveOpts, opts.SolverWorkers, pool)
 	stats.Phase.Warmup += time.Since(t0)
 	if warmTrunc {
 		stats.Truncated = true
@@ -621,7 +636,7 @@ func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repete
 		}
 	}
 	t1 := time.Now()
-	coolOK, coolTrunc, err := phaseFeasible(ctx, p, cool, initMem, nil, solveOpts, pool)
+	coolOK, coolTrunc, err := phaseFeasible(ctx, p, cool, initMem, nil, solveOpts, opts.SolverWorkers, pool)
 	stats.Phase.Cooldown += time.Since(t1)
 	if coolTrunc {
 		stats.Truncated = true
@@ -634,8 +649,11 @@ func checkCompletion(ctx context.Context, p *sched.Placement, r *repetend.Repete
 
 // phaseFeasible reports whether the blocks admit a valid phase schedule.
 // truncated is true when the verdict was reached after a solver budget ran
-// out, so a false answer is budget-degraded rather than proven.
-func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options, pool *solver.Pool) (ok, truncated bool, err error) {
+// out, so a false answer is budget-degraded rather than proven. workers is
+// the *requested* per-solve worker count, resolved here against the phase's
+// task count (satisfiability solves stay single-threaded inside the solver
+// regardless).
+func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block, initMem, deviceReady []int, opts solver.Options, workers int, pool *solver.Pool) (ok, truncated bool, err error) {
 	if len(blocks) == 0 {
 		return true, false, nil
 	}
@@ -645,6 +663,7 @@ func phaseFeasible(ctx context.Context, p *sched.Placement, blocks []sched.Block
 	}
 	opts.InitialMem = initMem
 	opts.DeviceReady = deviceReady
+	opts.Workers = solver.ResolveWorkers(workers, len(tasks))
 	res, err := pool.Solve(ctx, tasks, opts)
 	if err != nil {
 		return false, false, err
@@ -812,6 +831,7 @@ func solvePhase(ctx context.Context, p *sched.Placement, blocks []sched.Block, r
 		DeviceReady: deviceReady,
 		MaxNodes:    opts.SolverNodes,
 		Timeout:     opts.SolverTimeout,
+		Workers:     solver.ResolveWorkers(opts.SolverWorkers, len(tasks)),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -853,6 +873,7 @@ func TimeOptimal(ctx context.Context, p *sched.Placement, n int, opts Options) (
 		Memory:     opts.Memory,
 		MaxNodes:   opts.SolverNodes,
 		Timeout:    opts.SolverTimeout,
+		Workers:    solver.ResolveWorkers(opts.SolverWorkers, len(tasks)),
 	})
 	if err != nil {
 		return nil, res, err

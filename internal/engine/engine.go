@@ -153,6 +153,12 @@ func (e *Engine) Search(ctx context.Context, p *sched.Placement, opts core.Optio
 		// leader would hand its error to concurrent valid requests.
 		return nil, info, fmt.Errorf("%w: micro-batch count must be non-negative, got %d", ErrInvalidRequest, opts.N)
 	}
+	if opts.SolverWorkers < 0 {
+		// core.Options accepts negative as "force single-threaded", but at
+		// the serving boundary it is almost certainly a caller bug; reject it
+		// so the cache key space stays two-valued (auto vs explicit).
+		return nil, info, fmt.Errorf("%w: solver workers must be non-negative, got %d", ErrInvalidRequest, opts.SolverWorkers)
+	}
 	info.Fingerprint = sched.Fingerprint(p)
 	key := requestKey(info.Fingerprint, p, opts)
 
@@ -304,9 +310,19 @@ func requestKey(fingerprint string, p *sched.Placement, opts core.Options) strin
 	if nodes == 0 {
 		nodes = core.DefaultSolverNodes
 	}
-	return fmt.Sprintf("%s|mem=%d|nr=%d|asn=%d|nod=%d|to=%d|lazy=%t|simp=%t|ls=%t",
+	// SolverWorkers is keyed by *class*, not value: every explicit count ≥ 1
+	// runs the deterministic root-split search and returns byte-identical
+	// schedules, so W=2 and W=8 must share an entry. Auto (0) resolves per
+	// solve on this machine — possibly to the single-threaded engine, whose
+	// equally-optimal schedule choice may differ from the root-split's — so
+	// it gets its own class rather than aliasing with either.
+	sw := "auto"
+	if opts.SolverWorkers >= 1 {
+		sw = "par"
+	}
+	return fmt.Sprintf("%s|mem=%d|nr=%d|asn=%d|nod=%d|to=%d|lazy=%t|simp=%t|ls=%t|sw=%s",
 		fingerprint, memory, maxNR, maxAssign, nodes, opts.SolverTimeout,
-		!opts.DisableLazy, opts.SimpleCompaction, !opts.DisableLocalSearch)
+		!opts.DisableLazy, opts.SimpleCompaction, !opts.DisableLocalSearch, sw)
 }
 
 func isContextErr(err error) bool {

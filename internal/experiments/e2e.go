@@ -94,7 +94,7 @@ func runE2E(family string, m Mode) (*E2EResult, error) {
 					sr.OOM = true
 					break
 				}
-				opts := searchOpts(m.Quick)
+				opts := searchOpts(m)
 				opts.N = micros
 				opts.Memory = avail
 				var cres *core.Result

@@ -24,6 +24,11 @@ import (
 type Mode struct {
 	// Quick trims sweeps (fewer micro-batch points, lower NR caps).
 	Quick bool
+	// SolverWorkers is the per-solve branch-and-bound worker count every
+	// search in the suite runs with: ≥ 1 pins it, 0 resolves per solve
+	// (parallel only for large instances on multi-core machines). The
+	// measured schedules are identical for every explicit count ≥ 1.
+	SolverWorkers int
 }
 
 // UnitShapes returns the five canonical placements with unit costs
@@ -52,9 +57,9 @@ var ModelShapes = map[string]string{
 var ModelOrder = []string{"GPT", "mT5", "Flava"}
 
 // searchOpts are the default Tessel search options for unit-cost studies.
-func searchOpts(quick bool) core.Options {
-	o := core.Options{}
-	if quick {
+func searchOpts(m Mode) core.Options {
+	o := core.Options{SolverWorkers: m.SolverWorkers}
+	if m.Quick {
 		o.MaxNR = 4
 		o.MaxAssignments = 2000
 		o.SolverNodes = 50000

@@ -37,11 +37,11 @@ func Fig10(m Mode) (*Fig10Result, error) {
 	res := &Fig10Result{}
 	for _, name := range ModelOrder {
 		p := shapes[ModelShapes[name]]
-		lazy, err := core.Search(context.Background(), p, searchOpts(m.Quick))
+		lazy, err := core.Search(context.Background(), p, searchOpts(m))
 		if err != nil {
 			return nil, fmt.Errorf("fig10: %s: %w", p.Name, err)
 		}
-		eagerOpts := searchOpts(m.Quick)
+		eagerOpts := searchOpts(m)
 		eagerOpts.DisableLazy = true
 		eager, err := core.Search(context.Background(), p, eagerOpts)
 		if err != nil {

@@ -37,7 +37,7 @@ func Fig11(m Mode) (*Fig11Result, error) {
 				series = append(series, 0)
 				continue
 			}
-			opts := searchOpts(m.Quick)
+			opts := searchOpts(m)
 			opts.MaxNR = nr
 			sres, err := core.Search(context.Background(), p, opts)
 			if err != nil {
@@ -100,7 +100,7 @@ func Fig12(m Mode) (*Fig12Result, error) {
 		// Find the zero-bubble N_R under unbounded memory.
 		zeroNR := maxNR
 		for nr := 1; nr <= maxNR; nr++ {
-			opts := searchOpts(m.Quick)
+			opts := searchOpts(m)
 			opts.MaxNR = nr
 			sres, err := core.Search(context.Background(), p, opts)
 			if err != nil {
@@ -114,7 +114,7 @@ func Fig12(m Mode) (*Fig12Result, error) {
 		res.ZeroNR[name] = zeroNR
 		series := make([]float64, 0, len(capacities))
 		for _, cap := range capacities {
-			opts := searchOpts(m.Quick)
+			opts := searchOpts(m)
 			opts.MaxNR = zeroNR
 			opts.Memory = cap
 			sres, err := core.Search(context.Background(), p, opts)

@@ -103,7 +103,7 @@ func Fig15(m Mode) (*Fig15Result, error) {
 		if err := run("TP", s2); err != nil {
 			return nil, err
 		}
-		opts := searchOpts(m.Quick)
+		opts := searchOpts(m)
 		opts.N = n
 		cres, err := core.Search(context.Background(), kshape, opts)
 		if err != nil {

@@ -43,7 +43,7 @@ func Fig8(m Mode) (*Fig8Result, error) {
 			if v.inference {
 				p = infer
 			}
-			sres, err := core.Search(context.Background(), p, searchOpts(m.Quick))
+			sres, err := core.Search(context.Background(), p, searchOpts(m))
 			if err != nil {
 				return nil, fmt.Errorf("fig8: %s inference=%v: %w", name, v.inference, err)
 			}

@@ -47,7 +47,7 @@ func Fig9(m Mode) (*Fig9Result, error) {
 			if inference {
 				p = placement.Inference(train)
 			}
-			sres, err := core.Search(context.Background(), p, searchOpts(m.Quick))
+			sres, err := core.Search(context.Background(), p, searchOpts(m))
 			if err != nil {
 				return nil, fmt.Errorf("fig9: %s: %w", p.Name, err)
 			}

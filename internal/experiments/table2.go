@@ -60,7 +60,7 @@ func Table2(m Mode) (*Table2Result, error) {
 			}
 			row.OneFOneBPlus = baseline.SteadyBubble(plus)
 		}
-		sres, err := core.Search(context.Background(), p, searchOpts(m.Quick))
+		sres, err := core.Search(context.Background(), p, searchOpts(m))
 		if err != nil {
 			return nil, fmt.Errorf("table2: tessel on %s: %w", p.Name, err)
 		}

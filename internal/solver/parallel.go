@@ -1,0 +1,608 @@
+package solver
+
+// Deterministic parallel branch-and-bound: the root searcher expands the
+// search tree serially to a small split depth — with exactly the pruning,
+// candidate ordering and dominance memoization of the sequential search —
+// and captures the surviving depth-D prefixes as a job list in DFS order.
+// W workers then pull jobs from an atomic cursor, each running a full
+// pooled searcher (own frontier, frames, dominance memo, reset per job)
+// over its subtree against a shared atomic incumbent, and the results are
+// merged back in job enumeration order with the same first-strict-
+// improvement discipline the sequential DFS applies.
+//
+// Determinism. The merged Result is byte-identical for every Workers ≥ 1:
+//
+//   - The job list is a pure function of the instance (the expansion is
+//     serial, its pruning bounds are fixed — the greedy/UpperBound seed —
+//     and the split depth is chosen by a worker-independent rule), so every
+//     worker count searches the same subtrees.
+//   - Each job's subtree search is self-contained: its dominance memo is
+//     reset per job, its incumbent is seeded with the same fixed bound, and
+//     shared-incumbent pruning keeps ties (lb > bound, not ≥), so a job
+//     can never lose a schedule that ties the global optimum. The job's
+//     result — its first strictly-improving chain in DFS order — therefore
+//     does not depend on when other jobs publish.
+//   - Merging strictly-improving results in job order picks the lowest-
+//     indexed subtree that attains the optimal makespan, and within it the
+//     first optimal schedule in DFS order — the same schedule a sequential
+//     DFS over the jobs would return.
+//
+// Node and memo-hit counters are kept worker-local (no atomics on the hot
+// path) and summed in job order at merge. They, too, are identical for
+// every Workers value whenever no job improves on the seed incumbent — the
+// common case: the greedy dispatch already attains the optimum on the
+// pipeline instances this solver sees, so the shared incumbent never moves
+// and every job's pruning bounds are fixed. When a job does improve
+// mid-flight, other in-flight jobs adopt the published bound and expand
+// fewer nodes; the returned schedule stays byte-identical (ties survive
+// pruning), only the effort counters shrink — the same caveat the sweep
+// collector documents for its Solved/Pruned counters.
+//
+// The node budget is split and reconciled deterministically: the expansion
+// draws on the full budget, the remainder is divided across jobs by index
+// (base + 1 extra for the first remainder-many jobs), and after the
+// parallel pass any unspent budget is granted to still-truncated jobs in
+// job order via sequential from-scratch re-solves — so whether a solve
+// reports Optimal or falls back to its incumbent does not depend on which
+// worker ran which job.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// DefaultParallelTaskThreshold is the instance size (task count) from
+	// which ResolveWorkers' auto setting turns on per-solve parallelism.
+	// Below it the fan-out overhead (per-worker graph rebuild, prefix
+	// expansion) outweighs the subtree concurrency; sweep-sized instance
+	// solves stay sequential so the repetend sweep's outer parallelism and
+	// the solver's inner parallelism compose instead of oversubscribing.
+	DefaultParallelTaskThreshold = 40
+	// DefaultMaxAutoWorkers caps auto-resolved per-solve workers: beyond it
+	// the root split runs out of comparably-sized subtrees before it runs
+	// out of cores.
+	DefaultMaxAutoWorkers = 8
+
+	// parallelTargetJobs is the job count the split-depth rule aims for —
+	// enough surplus over any worker count for dynamic load balance.
+	parallelTargetJobs = 64
+	// parallelMaxJobs caps the job list; past it a deeper split only adds
+	// per-job overhead and fragments the dominance memo further.
+	parallelMaxJobs = 512
+	// parallelMaxDepth bounds the split depth regardless of branching.
+	parallelMaxDepth = 6
+)
+
+// ResolveWorkers maps a caller-facing worker setting to solver
+// Options.Workers for an instance of nTasks tasks. An explicit request
+// (requested ≥ 1) is honored as-is and pins the schedule bytes
+// machine-independently (they are identical for every explicit value).
+// The auto setting (0) enables parallelism — min(GOMAXPROCS,
+// DefaultMaxAutoWorkers) workers — only when the instance has at least
+// DefaultParallelTaskThreshold tasks and the machine has at least two
+// cores: the root split trades total nodes for latency (each job rebuilds
+// the dominance knowledge its private memo cannot share), so on a single
+// core the sequential search is strictly faster and auto picks it. Auto
+// consequently selects between the two search engines by machine, and
+// their equally-optimal schedule *choice* may differ — each solve's
+// optimal makespan, feasibility and optimality verdicts never do, though
+// a caller composing several solves (e.g. a pipeline completion built
+// around phase schedules) can see the choice echo in its composed result.
+// Callers that need bytes pinned across machines pass an explicit worker
+// count. Negative values resolve to 0 (the sequential path).
+func ResolveWorkers(requested, nTasks int) int {
+	if requested >= 1 {
+		return requested
+	}
+	if requested == 0 && nTasks >= DefaultParallelTaskThreshold {
+		w := runtime.GOMAXPROCS(0)
+		if w < 2 {
+			return 0
+		}
+		if w > DefaultMaxAutoWorkers {
+			w = DefaultMaxAutoWorkers
+		}
+		return w
+	}
+	return 0
+}
+
+// sharedIncumbent is the cross-worker incumbent of one parallel solve: the
+// best verified makespan as an atomic (read by every worker's pruning
+// check) and the corresponding start vector behind a mutex. The starts are
+// published only after verification — record() offers a schedule exactly
+// when it is complete and satisfies every constraint and bound — and only
+// while its makespan still matches the atomic, so readers never observe a
+// vector that lost the race.
+type sharedIncumbent struct {
+	best atomic.Int64
+	mu   sync.Mutex
+	// starts is the incumbent vector; has marks it valid. Consulted only on
+	// the cancellation path (the deterministic merge rebuilds the result
+	// from per-job bests), so the mutex is uncontended in steady state.
+	starts []int
+	has    bool
+}
+
+// offer publishes a verified schedule if it improves the shared incumbent.
+func (si *sharedIncumbent) offer(makespan int, starts []int) {
+	m := int64(makespan)
+	for {
+		cur := si.best.Load()
+		if m >= cur {
+			return
+		}
+		if si.best.CompareAndSwap(cur, m) {
+			break
+		}
+	}
+	si.mu.Lock()
+	if m <= si.best.Load() {
+		si.starts = append(si.starts[:0], starts...)
+		si.has = true
+	}
+	si.mu.Unlock()
+}
+
+// pJob is one unit of the root split: a depth-D prefix (task ids in apply
+// order) plus the job's result slot, written by exactly one worker.
+type pJob struct {
+	prefix []int32
+	// budget is the job's node share: 0 = unlimited, negative = no budget
+	// left (the job reports truncated without expanding a node, so the
+	// solve-wide MaxNodes contract holds exactly).
+	budget int64
+
+	done      bool // a worker ran the job (false only after cancellation)
+	found     bool // the subtree strictly improved on the seed incumbent
+	makespan  int
+	starts    []int
+	nodes     int64
+	memoHits  int64
+	truncated bool
+	boundCut  bool
+	cancelled bool
+}
+
+// candStart computes the earliest feasible start of frontier task t in the
+// current state — the same formula the candidate collector uses — so a
+// worker can re-derive a prefix candidate from its task id alone.
+func (s *searcher) candStart(t int) int {
+	st := s.release[t]
+	for _, dev := range s.devList[s.devOff[t]:s.devOff[t+1]] {
+		if s.devAvail[dev] > st {
+			st = s.devAvail[dev]
+		}
+	}
+	for _, p := range s.predList[s.predOff[t]:s.predOff[t+1]] {
+		if s.finish[p] > st {
+			st = s.finish[p]
+		}
+	}
+	return st
+}
+
+// memFeasible reports whether starting t now respects every device's
+// memory capacity.
+func (s *searcher) memFeasible(t int) bool {
+	for _, dev := range s.devList[s.devOff[t]:s.devOff[t+1]] {
+		if s.devMem[dev]+s.mem[t] > s.opts.Memory {
+			return false
+		}
+	}
+	return true
+}
+
+// trialCount counts the memory-feasible prefixes at the given depth,
+// aborting once the count exceeds limit. It intentionally skips bound and
+// memo pruning (which can only shrink the real job list), so it never
+// perturbs search state beyond apply/undo pairs and its result is a pure
+// function of the instance.
+func (s *searcher) trialCount(depth, limit int) int {
+	count := 0
+	var rec func(d int)
+	rec = func(d int) {
+		if count > limit {
+			return
+		}
+		if d == depth {
+			count++
+			return
+		}
+		fr := &s.frames[s.nSched]
+		cands := fr.cands[:0]
+		for _, t32 := range s.frontier {
+			t := int(t32)
+			if !s.memFeasible(t) {
+				continue
+			}
+			cands = append(cands, candidate{task: t, start: s.candStart(t)})
+		}
+		fr.cands = cands
+		for i := range cands {
+			c := fr.cands[i]
+			saved := fr.saved[:0]
+			for _, dev := range s.devList[s.devOff[c.task]:s.devOff[c.task+1]] {
+				saved = append(saved, s.devAvail[dev])
+			}
+			fr.saved = saved
+			savedMakespan, savedMaxTail := s.makespan, s.maxTail
+			s.apply(c)
+			rec(d + 1)
+			s.undo(c, fr.saved, savedMakespan, savedMaxTail)
+			if count > limit {
+				return
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+// planSplitDepth picks the split depth: the smallest depth whose prefix
+// count reaches parallelTargetJobs, stopping early when a deeper split
+// would exceed parallelMaxJobs. Every input to the rule is a constant or a
+// function of the instance, so the depth — and with it the job list — is
+// identical for every worker count.
+func (s *searcher) planSplitDepth() int {
+	maxD := parallelMaxDepth
+	if s.n-1 < maxD {
+		maxD = s.n - 1
+	}
+	if maxD < 1 {
+		return 0
+	}
+	best := 1
+	for d := 1; d <= maxD; d++ {
+		c := s.trialCount(d, parallelMaxJobs)
+		if c > parallelMaxJobs {
+			break
+		}
+		best = d
+		if c >= parallelTargetJobs {
+			break
+		}
+	}
+	return best
+}
+
+// expand is the serial prefix expansion: the sequential DFS — node count,
+// budget poll, bounds, dominance memo, ordered candidate collection — cut
+// off at the split depth, where a state that survives the full node
+// processing is captured as a job instead of recursing. Probing (and
+// inserting into) the root memo *before* capturing matters: a dominance
+// memo only relates states with equal scheduled-set masks, and at depth D
+// an equal mask means an equal cardinality, so every stored state that
+// could prune a depth-D node is itself a depth-D node from an earlier
+// prefix — all already inserted here, in the same DFS order the sequential
+// search encounters them. Capturing only survivors therefore discards
+// exactly the permutation-equivalent subtrees the sequential search
+// discards, instead of handing each worker a duplicate of work another
+// job already covers. Depths ≤ D are searched and counted here, once;
+// jobs search strictly below their captured root.
+func (s *searcher) expand(depth int, jobs *[]pJob) {
+	s.nodes++
+	if s.outOfBudget() {
+		s.truncated = true
+		return
+	}
+	if s.prunedOrMemo() {
+		return
+	}
+	if s.nSched == depth {
+		*jobs = append(*jobs, pJob{prefix: append([]int32(nil), s.pathStack...)})
+		return
+	}
+	cands := s.collectCandidates()
+	fr := &s.frames[s.nSched]
+	for i := range cands {
+		c := cands[i]
+		saved := fr.saved[:0]
+		for _, dev := range s.devList[s.devOff[c.task]:s.devOff[c.task+1]] {
+			saved = append(saved, s.devAvail[dev])
+		}
+		fr.saved = saved
+		savedMakespan, savedMaxTail := s.makespan, s.maxTail
+		s.apply(c)
+		s.pathStack = append(s.pathStack, int32(c.task))
+		s.expand(depth, jobs)
+		s.pathStack = s.pathStack[:len(s.pathStack)-1]
+		s.undo(c, fr.saved, savedMakespan, savedMaxTail)
+		if s.truncated {
+			return
+		}
+	}
+}
+
+// prepareWorker initializes a pooled searcher for job processing: a full
+// reset on the same instance, the fixed seed incumbent (the root's
+// post-greedy best — every worker prunes from the same deterministic
+// baseline), and the shared incumbent hookup. The sketch scale derives
+// from the same seed on every worker, so memo quantization is identical
+// across workers and runs.
+func (w *searcher) prepareWorker(tasks []Task, opts Options, seedMakespan int, seedSet bool, si *sharedIncumbent) error {
+	if err := w.reset(w.ctx, tasks, opts); err != nil {
+		return err
+	}
+	w.seedWorker(opts, seedMakespan, seedSet, si)
+	return nil
+}
+
+func (w *searcher) seedWorker(opts Options, seedMakespan int, seedSet bool, si *sharedIncumbent) {
+	w.jobSeedMakespan = seedMakespan
+	w.jobSeedSet = seedSet
+	w.shared = si
+	w.best.Makespan = seedMakespan
+	w.bestSet = seedSet
+	if !opts.DisableMemo {
+		w.setSketchScale()
+	}
+}
+
+// runJob searches one subtree: re-derive and apply the prefix, reset the
+// per-job state (incumbent seed, counters, dominance memo — a generation
+// bump, so jobs never see each other's entries), run the sequential DFS,
+// capture the result, and undo the prefix so the searcher is back at the
+// root for its next job.
+func (w *searcher) runJob(jb *pJob) {
+	if w.ctx.Err() != nil {
+		jb.cancelled = true
+		return
+	}
+	if jb.budget < 0 {
+		// No budget share left for this job: it truncates before expanding a
+		// single node, exactly as the sequential search would at this point
+		// of its DFS. The reconcile pass may re-run it with leftover budget.
+		jb.done = true
+		jb.truncated = true
+		return
+	}
+	w.nodes = 0
+	w.memoHits = 0
+	w.truncated = false
+	w.boundCut = false
+	w.cancelled = false
+	w.opts.MaxNodes = jb.budget
+	w.best = Result{Makespan: w.jobSeedMakespan}
+	w.bestSet = w.jobSeedSet
+	if !w.opts.DisableMemo {
+		w.memo.reset(w.maskWords)
+	}
+
+	depth := len(jb.prefix)
+	w.pfxOff = intsN(w.pfxOff, depth+1)
+	w.pfxMakespan = intsN(w.pfxMakespan, depth)
+	w.pfxMaxTail = intsN(w.pfxMaxTail, depth)
+	w.pfxAvail = w.pfxAvail[:0]
+	w.pfxOff[0] = 0
+	for di, t32 := range jb.prefix {
+		t := int(t32)
+		for _, dev := range w.devList[w.devOff[t]:w.devOff[t+1]] {
+			w.pfxAvail = append(w.pfxAvail, w.devAvail[dev])
+		}
+		w.pfxOff[di+1] = len(w.pfxAvail)
+		w.pfxMakespan[di] = w.makespan
+		w.pfxMaxTail[di] = w.maxTail
+		w.apply(candidate{task: t, start: w.candStart(t)})
+	}
+
+	// The job's root state was processed (counted, bound-checked, memoized)
+	// by the expansion; the job searches strictly below it, so expansion
+	// and job node counts partition the tree with no double counting.
+	cands := w.collectCandidates()
+	fr := &w.frames[w.nSched]
+	for i := range cands {
+		c := cands[i]
+		saved := fr.saved[:0]
+		for _, dev := range w.devList[w.devOff[c.task]:w.devOff[c.task+1]] {
+			saved = append(saved, w.devAvail[dev])
+		}
+		fr.saved = saved
+		savedMakespan, savedMaxTail := w.makespan, w.maxTail
+		w.apply(c)
+		w.dfs()
+		w.undo(c, fr.saved, savedMakespan, savedMaxTail)
+		if w.truncated {
+			break
+		}
+	}
+
+	jb.done = true
+	jb.nodes = w.nodes
+	jb.memoHits = w.memoHits
+	jb.truncated = w.truncated
+	jb.boundCut = w.boundCut
+	jb.cancelled = w.cancelled
+	if w.bestSet && w.best.Feasible && w.best.Makespan < w.jobSeedMakespan {
+		jb.found = true
+		jb.makespan = w.best.Makespan
+		jb.starts = append([]int(nil), w.bestStarts...)
+	}
+
+	for di := depth - 1; di >= 0; di-- {
+		t := int(jb.prefix[di])
+		c := candidate{task: t, start: w.starts[t]}
+		w.undo(c, w.pfxAvail[w.pfxOff[di]:w.pfxOff[di+1]], w.pfxMakespan[di], w.pfxMaxTail[di])
+	}
+}
+
+// runParallel is the parallel counterpart of run(): greedy seed, prefix
+// expansion, worker fan-out, deterministic budget reconciliation, and the
+// in-order merge. It leaves the merged outcome in the same searcher fields
+// run() does, so solve()'s epilogue is shared.
+func (s *searcher) runParallel() {
+	if starts, ms, ok := s.greedy(); ok {
+		if ms < s.best.Makespan && ms <= s.deadline {
+			s.record(starts, ms)
+		} else {
+			s.boundCut = true
+		}
+	}
+	if !s.opts.DisableMemo {
+		s.setSketchScale()
+	}
+
+	// The merge baseline: the greedy/UpperBound-seeded incumbent. Saved
+	// aside because reconciliation reruns reuse this searcher's incumbent
+	// fields.
+	baseMakespan := s.best.Makespan
+	baseSet := s.bestSet
+	baseFeasible := s.best.Feasible
+	baseStarts := append([]int(nil), s.bestStarts...)
+
+	si := &sharedIncumbent{}
+	si.best.Store(int64(baseMakespan))
+	s.seedWorker(s.opts, baseMakespan, baseSet, si)
+
+	depth := s.planSplitDepth()
+	var jobs []pJob
+	if depth >= 1 {
+		s.pathStack = s.pathStack[:0]
+		s.expand(depth, &jobs)
+	}
+	expNodes, expMemoHits := s.nodes, s.memoHits
+	expTruncated, expBoundCut := s.truncated, s.boundCut
+
+	if expTruncated || len(jobs) == 0 {
+		// Budget exhausted during expansion (sequential, so deterministic),
+		// or every branch pruned above the split depth: the baseline is the
+		// final outcome and the flags already reflect the expansion.
+		return
+	}
+
+	// Deterministic budget split: the expansion drew on the full budget,
+	// the remainder is divided by job index.
+	if s.opts.MaxNodes > 0 {
+		rem := s.opts.MaxNodes - expNodes
+		if rem < 0 {
+			rem = 0
+		}
+		nj := int64(len(jobs))
+		base, extra := rem/nj, rem%nj
+		for i := range jobs {
+			jobs[i].budget = base
+			if int64(i) < extra {
+				jobs[i].budget++
+			}
+			if jobs[i].budget == 0 {
+				// A zero share would read as "unlimited"; the negative
+				// sentinel makes the job truncate without expanding a node.
+				jobs[i].budget = -1
+			}
+		}
+	}
+
+	workers := s.opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tasks, opts, pool, ctx := s.tasks, s.opts, s.pool, s.ctx
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := pool.get()
+			defer pool.put(w)
+			w.ctx = ctx
+			if err := w.prepareWorker(tasks, opts, baseMakespan, baseSet, si); err != nil {
+				// reset validated this exact input on the root searcher; the
+				// only residual failure is a pre-cancelled context, which the
+				// per-job guard reports per job.
+				return
+			}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				w.runJob(&jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Reconcile unspent budget: grant it to still-truncated jobs in job
+	// order via sequential re-solves on this searcher, so truncation
+	// verdicts depend on the (deterministic) node totals, not on which
+	// worker ran which job. A re-solve restarts the subtree from scratch —
+	// deterministic DFS revisits the truncated pass's nodes first — so it
+	// strictly extends the first pass and supersedes its result; the
+	// revisited nodes are counted again, keeping Nodes the true expansion
+	// total.
+	if s.opts.MaxNodes > 0 && s.ctx.Err() == nil {
+		var used int64
+		for i := range jobs {
+			used += jobs[i].nodes
+		}
+		rem := s.opts.MaxNodes - expNodes - used
+		for i := range jobs {
+			if rem <= 0 {
+				break
+			}
+			if !jobs[i].truncated || jobs[i].cancelled {
+				continue
+			}
+			if rem <= jobs[i].budget {
+				continue // a re-solve could not see further than the first pass
+			}
+			firstPassNodes := jobs[i].nodes
+			jobs[i].budget = rem
+			s.runJob(&jobs[i])
+			rem -= jobs[i].nodes
+			jobs[i].nodes += firstPassNodes
+		}
+	}
+
+	// Merge in job enumeration order with the sequential search's
+	// first-strict-improvement discipline.
+	s.best = Result{Feasible: baseFeasible, Makespan: baseMakespan}
+	s.bestSet = baseSet
+	s.bestStarts = append(s.bestStarts[:0], baseStarts...)
+	s.truncated = expTruncated
+	s.boundCut = expBoundCut
+	s.cancelled = false
+	s.nodes = expNodes
+	s.memoHits = expMemoHits
+	for i := range jobs {
+		jb := &jobs[i]
+		if !jb.done {
+			s.cancelled = true
+			continue
+		}
+		s.nodes += jb.nodes
+		s.memoHits += jb.memoHits
+		if jb.truncated {
+			s.truncated = true
+		}
+		if jb.boundCut {
+			s.boundCut = true
+		}
+		if jb.cancelled {
+			s.cancelled = true
+		}
+		if jb.found && jb.makespan < s.best.Makespan {
+			s.best.Feasible = true
+			s.best.Makespan = jb.makespan
+			s.bestStarts = append(s.bestStarts[:0], jb.starts...)
+			s.bestSet = true
+		}
+	}
+	if s.cancelled && !s.bestSet && si.has {
+		// Cancelled before any job merged a result: fall back to the shared
+		// incumbent so the error return still carries the best schedule
+		// found (the non-error paths never reach this).
+		si.mu.Lock()
+		s.best.Feasible = true
+		s.best.Makespan = int(si.best.Load())
+		s.bestStarts = append(s.bestStarts[:0], si.starts...)
+		s.bestSet = true
+		si.mu.Unlock()
+	}
+}

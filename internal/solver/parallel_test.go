@@ -1,0 +1,187 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"tessel/internal/placement"
+)
+
+// vshapeTasks builds the v-shape 4-device task system with n micro-batches —
+// the instance family the parallel root split is tuned on.
+func vshapeTasks(t testing.TB, n int) []Task {
+	t.Helper()
+	p, err := placement.VShape(placement.Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := BuildTasks(p, AllBlocks(p, n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks
+}
+
+// TestParallelSolveByteIdentical is the core contract of the root-split
+// search: for every Workers value ≥ 1 the full Result — starts, makespan,
+// verdict flags, and (because the greedy seed is optimal on these v-shape
+// instances, so no job improves mid-flight) the Nodes/MemoHits counters —
+// must be byte-identical, and the makespan must match the single-threaded
+// solve. Run under -race in CI this also exercises the shared incumbent and
+// the job cursor for data races.
+func TestParallelSolveByteIdentical(t *testing.T) {
+	sizes := []int{2, 4}
+	if !testing.Short() {
+		sizes = append(sizes, 6)
+	}
+	for _, n := range sizes {
+		tasks := vshapeTasks(t, n)
+		for _, mem := range []int{0, 8} {
+			serial, err := Solve(context.Background(), tasks, Options{Memory: mem})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.Feasible || !serial.Optimal {
+				t.Fatalf("nmb%d mem=%d: serial solve not optimal: %+v", n, mem, serial)
+			}
+			var ref Result
+			for _, w := range []int{1, 2, 4, 8} {
+				res, err := Solve(context.Background(), tasks, Options{Memory: mem, Workers: w})
+				if err != nil {
+					t.Fatalf("nmb%d mem=%d workers=%d: %v", n, mem, w, err)
+				}
+				if res.Makespan != serial.Makespan {
+					t.Fatalf("nmb%d mem=%d workers=%d: makespan %d != serial %d", n, mem, w, res.Makespan, serial.Makespan)
+				}
+				if !res.Feasible || !res.Optimal {
+					t.Fatalf("nmb%d mem=%d workers=%d: not optimal: %+v", n, mem, w, res)
+				}
+				if w == 1 {
+					ref = res
+					continue
+				}
+				res.Elapsed = ref.Elapsed // wall time is the one legitimate difference
+				if !reflect.DeepEqual(ref, res) {
+					t.Fatalf("nmb%d mem=%d workers=%d: result differs from workers=1:\n%+v\nvs\n%+v", n, mem, w, res, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSolveTruncation checks the split-and-reconciled node budget:
+// a budget small enough to truncate the search must still produce the exact
+// same Result (incumbent starts, Optimal=false, and the Nodes counter) for
+// every Workers value, because job budgets depend only on the deterministic
+// job list and the reconcile pass re-solves leftover jobs sequentially.
+func TestParallelSolveTruncation(t *testing.T) {
+	tasks := vshapeTasks(t, 4)
+	for _, budget := range []int64{50, 500, 3000} {
+		var ref Result
+		for _, w := range []int{1, 2, 4, 8} {
+			res, err := Solve(context.Background(), tasks, Options{MaxNodes: budget, Workers: w})
+			if err != nil {
+				t.Fatalf("budget=%d workers=%d: %v", budget, w, err)
+			}
+			if !res.Feasible {
+				t.Fatalf("budget=%d workers=%d: greedy incumbent lost: %+v", budget, w, res)
+			}
+			if res.Nodes > budget {
+				t.Fatalf("budget=%d workers=%d: expanded %d nodes over budget", budget, w, res.Nodes)
+			}
+			if w == 1 {
+				ref = res
+				continue
+			}
+			res.Elapsed = ref.Elapsed
+			if !reflect.DeepEqual(ref, res) {
+				t.Fatalf("budget=%d workers=%d: result differs from workers=1:\n%+v\nvs\n%+v", budget, w, res, ref)
+			}
+		}
+		// The full nmb4 solve needs 8283 nodes, so the two small budgets
+		// must actually exercise the truncation path.
+		if budget < 8000 && ref.Optimal {
+			t.Fatalf("budget=%d: expected a truncated solve, got Optimal", budget)
+		}
+	}
+}
+
+// TestParallelSolveCancellation cancels a context mid-parallel-solve: the
+// solve must return the context's error promptly, and the pool must stay
+// usable afterwards.
+func TestParallelSolveCancellation(t *testing.T) {
+	tasks := vshapeTasks(t, 6) // large enough that the solve outlives the timeout
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Solve(ctx, tasks, Options{Workers: 4})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v to propagate", d)
+	}
+	// A fresh solve on the recycled searchers must still work.
+	res, err := Solve(context.Background(), vshapeTasks(t, 2), Options{Workers: 4})
+	if err != nil || !res.Optimal {
+		t.Fatalf("post-cancel solve: res=%+v err=%v", res, err)
+	}
+}
+
+// TestParallelSatisfyOnlySingleThreaded: satisfiability solves stop at the
+// first feasible schedule — a race by construction — so Workers must be
+// ignored and the result must match the single-threaded check.
+func TestParallelSatisfyOnlySingleThreaded(t *testing.T) {
+	tasks := vshapeTasks(t, 4)
+	base, err := Solve(context.Background(), tasks, Options{SatisfyOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 8} {
+		res, err := Solve(context.Background(), tasks, Options{SatisfyOnly: true, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Elapsed = base.Elapsed
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d: SatisfyOnly result differs: %+v vs %+v", w, res, base)
+		}
+	}
+}
+
+// TestResolveWorkers pins the auto-resolution rule: explicit requests are
+// honored verbatim, auto engages only for large instances on multi-core
+// machines, and negatives force single-threaded search.
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(3, 1); got != 3 {
+		t.Fatalf("explicit request not honored: got %d", got)
+	}
+	if got := ResolveWorkers(1, DefaultParallelTaskThreshold*10); got != 1 {
+		t.Fatalf("explicit 1 not honored: got %d", got)
+	}
+	if got := ResolveWorkers(-1, DefaultParallelTaskThreshold*10); got != 0 {
+		t.Fatalf("negative must force single-threaded: got %d", got)
+	}
+	if got := ResolveWorkers(0, DefaultParallelTaskThreshold-1); got != 0 {
+		t.Fatalf("auto below the task threshold must stay serial: got %d", got)
+	}
+	got := ResolveWorkers(0, DefaultParallelTaskThreshold)
+	switch procs := runtime.GOMAXPROCS(0); {
+	case procs < 2:
+		if got != 0 {
+			t.Fatalf("auto on a single-core machine must stay serial: got %d", got)
+		}
+	case procs > DefaultMaxAutoWorkers:
+		if got != DefaultMaxAutoWorkers {
+			t.Fatalf("auto must cap at %d: got %d", DefaultMaxAutoWorkers, got)
+		}
+	default:
+		if got != procs {
+			t.Fatalf("auto must use GOMAXPROCS=%d: got %d", procs, got)
+		}
+	}
+}

@@ -144,6 +144,18 @@ type Options struct {
 	// When no schedule passes, Result.BoundPruned distinguishes "nothing
 	// within the seeded bound" from absolute infeasibility.
 	UpperBound int
+	// Workers, when ≥ 1, runs the optimizing search as a deterministic
+	// root-split across that many concurrent workers (parallel.go): the
+	// Result — Starts, Makespan, verdict flags, and the Nodes/MemoHits
+	// counters in the absence of mid-flight incumbent improvements — is
+	// byte-identical for every Workers value ≥ 1, including 1. Zero or
+	// negative keeps the single-threaded search (whose equally-optimal
+	// schedule choice may differ from the split search's, since the
+	// dominance memo is partitioned differently). SatisfyOnly solves are
+	// always single-threaded: they stop at the first feasible schedule, a
+	// race by construction. Use ResolveWorkers to map a caller-facing
+	// "0 = auto" setting to this field by instance size.
+	Workers int
 }
 
 // Result reports the outcome of a Solve call.
@@ -270,13 +282,33 @@ type searcher struct {
 	frames []frame // per-depth candidate + saved-avail buffers
 
 	// Greedy-dispatch scratch (greedy runs once per solve; reusing these
-	// keeps the warm-start allocation-free too).
+	// keeps the warm-start allocation-free too). gFront/gFrontPos mirror
+	// the search frontier for the dispatch: the eligible tasks, maintained
+	// incrementally so each pick scans candidates, not all n tasks.
 	gSched    []bool
 	gPredLeft []int
 	gAvail    []int
 	gMem      []int
 	gFinish   []int
 	gStarts   []int
+	gFront    []int32
+	gFrontPos []int32
+
+	// Parallel root-split state (parallel.go). pool lets the root searcher
+	// draw worker searchers from the pool that produced it; shared is the
+	// cross-worker incumbent (nil on the single-threaded path, so the hot
+	// bound checks pay one nil test); pathStack tracks the expansion prefix;
+	// the pfx* buffers save per-depth undo state when a worker replays a
+	// job prefix; jobSeed* is the fixed incumbent seed restored per job.
+	pool            *Pool
+	shared          *sharedIncumbent
+	pathStack       []int32
+	pfxAvail        []int
+	pfxOff          []int
+	pfxMakespan     []int
+	pfxMaxTail      []int
+	jobSeedMakespan int
+	jobSeedSet      bool
 
 	best       Result
 	bestStarts []int // incumbent start times, reused across improvements
@@ -319,7 +351,11 @@ func (s *searcher) solve(ctx context.Context, tasks []Task, opts Options) (Resul
 		s.releaseRefs()
 		return Result{}, err
 	}
-	s.run()
+	if opts.Workers >= 1 && !opts.SatisfyOnly && s.n >= 2 {
+		s.runParallel()
+	} else {
+		s.run()
+	}
 	s.best.Nodes = s.nodes
 	s.best.MemoHits = s.memoHits
 	s.best.Elapsed = time.Since(s.startTime)
@@ -362,6 +398,7 @@ func (s *searcher) solve(ctx context.Context, tasks []Task, opts Options) (Resul
 func (s *searcher) releaseRefs() {
 	s.ctx, s.tasks = nil, nil
 	s.opts = Options{}
+	s.pool, s.shared = nil, nil
 }
 
 // --- buffer reuse helpers --------------------------------------------------
@@ -710,16 +747,38 @@ func (s *searcher) cutByBound(lb int) bool {
 	return false
 }
 
+// cutoff reports whether a branch with lower bound lb cannot strictly
+// improve the incumbent. On the single-threaded path that is the local
+// incumbent alone; a parallel worker additionally prunes against the
+// shared incumbent — with a *strict* comparison, so branches that tie the
+// published makespan survive and every job still finds its first
+// optimal-makespan schedule in DFS order (the determinism of the merged
+// Starts vector rests on this).
+func (s *searcher) cutoff(lb int) bool {
+	if lb >= s.best.Makespan {
+		return true
+	}
+	return s.shared != nil && int64(lb) > s.shared.best.Load()
+}
+
 func (s *searcher) record(starts []int, makespan int) {
 	s.best.Feasible = true
 	s.best.Makespan = makespan
 	s.bestStarts = append(s.bestStarts[:0], starts...)
 	s.bestSet = true
+	if s.shared != nil {
+		// The schedule is complete and satisfied every constraint and bound
+		// check — verified — so it may be published to the other workers.
+		s.shared.offer(makespan, s.bestStarts)
+	}
 }
 
 // greedy runs a deterministic list-scheduling dispatch: always append the
 // eligible task with the smallest start time, breaking ties by the longest
-// tail. It respects every constraint, so any complete dispatch is feasible.
+// tail, then the lowest task index. It respects every constraint, so any
+// complete dispatch is feasible. Eligibility is maintained incrementally in
+// a frontier (like the search's), so each pick scans the eligible tasks
+// instead of rescanning all n — the dispatch is O(n·frontier), not O(n²).
 // All working state lives in searcher scratch buffers.
 func (s *searcher) greedy() ([]int, int, bool) {
 	n := s.n
@@ -733,16 +792,29 @@ func (s *searcher) greedy() ([]int, int, bool) {
 	copy(s.gMem, s.devMem)
 	s.gFinish = intsN(s.gFinish, n)
 	s.gStarts = intsN(s.gStarts, n)
+	s.gFrontPos = int32sN(s.gFrontPos, n)
+	for i := 0; i < n; i++ {
+		s.gFrontPos[i] = -1
+	}
+	if cap(s.gFront) < n {
+		s.gFront = make([]int32, 0, n)
+	} else {
+		s.gFront = s.gFront[:0]
+	}
+	for t := 0; t < n; t++ {
+		if s.gPredLeft[t] == 0 && s.symPred[t] < 0 {
+			s.gFrontPos[t] = int32(len(s.gFront))
+			s.gFront = append(s.gFront, int32(t))
+		}
+	}
 	makespan := 0
 	for done := 0; done < n; done++ {
+		// The frontier holds the precedence- and symmetry-eligible tasks in
+		// arbitrary order; the explicit index tiebreak keeps the pick — and
+		// with it the whole dispatch — order-independent.
 		bestT, bestStart := -1, 0
-		for t := 0; t < n; t++ {
-			if s.gSched[t] || s.gPredLeft[t] > 0 {
-				continue
-			}
-			if sp := s.symPred[t]; sp >= 0 && !s.gSched[sp] {
-				continue
-			}
+		for _, t32 := range s.gFront {
+			t := int(t32)
 			devs := s.devList[s.devOff[t]:s.devOff[t+1]]
 			ok := true
 			for _, dev := range devs {
@@ -766,7 +838,8 @@ func (s *searcher) greedy() ([]int, int, bool) {
 				}
 			}
 			if bestT < 0 || st < bestStart ||
-				(st == bestStart && s.tail[t] > s.tail[bestT]) {
+				(st == bestStart && (s.tail[t] > s.tail[bestT] ||
+					(s.tail[t] == s.tail[bestT] && t < bestT))) {
 				bestT, bestStart = t, st
 			}
 		}
@@ -775,6 +848,13 @@ func (s *searcher) greedy() ([]int, int, bool) {
 		}
 		t := bestT
 		s.gSched[t] = true
+		i := s.gFrontPos[t]
+		last := int32(len(s.gFront) - 1)
+		moved := s.gFront[last]
+		s.gFront[i] = moved
+		s.gFrontPos[moved] = i
+		s.gFront = s.gFront[:last]
+		s.gFrontPos[t] = -1
 		s.gStarts[t] = bestStart
 		s.gFinish[t] = bestStart + s.time[t]
 		if s.gFinish[t] > makespan {
@@ -786,6 +866,14 @@ func (s *searcher) greedy() ([]int, int, bool) {
 		}
 		for _, v := range s.succList[s.succOff[t]:s.succOff[t+1]] {
 			s.gPredLeft[v]--
+			if s.gPredLeft[v] == 0 && (s.symPred[v] < 0 || s.gSched[s.symPred[v]]) {
+				s.gFrontPos[v] = int32(len(s.gFront))
+				s.gFront = append(s.gFront, v)
+			}
+		}
+		if ss := s.symSucc[t]; ss >= 0 && s.gPredLeft[ss] == 0 && s.gFrontPos[ss] < 0 {
+			s.gFrontPos[ss] = int32(len(s.gFront))
+			s.gFront = append(s.gFront, int32(ss))
 		}
 	}
 	return s.gStarts, makespan, true
@@ -965,23 +1053,11 @@ func (s *searcher) frontSync(t int) {
 
 // --- the search ------------------------------------------------------------
 
-func (s *searcher) dfs() {
-	s.nodes++
-	if s.outOfBudget() {
-		s.truncated = true
-		return
-	}
-	if s.nSched == s.n {
-		if s.makespan <= s.deadline && s.makespan < s.best.Makespan {
-			s.record(s.starts, s.makespan)
-		} else {
-			s.cutByBound(s.makespan)
-		}
-		return
-	}
-	if s.opts.SatisfyOnly && s.bestSet {
-		return
-	}
+// prunedOrMemo runs the per-node pruning pipeline — incremental lower
+// bounds, dominance memo, critical-path bound — exactly once per expanded
+// node and reports whether the node is pruned. Shared between dfs and the
+// parallel prefix expansion so both search the identical tree.
+func (s *searcher) prunedOrMemo() bool {
 	// Lower bounds, cheapest first: device loads, the running max of
 	// finish+tail over scheduled tasks (dominated by pathBound), and the
 	// static whole-instance critical path (a sound global bound on any
@@ -999,8 +1075,8 @@ func (s *searcher) dfs() {
 	if s.staticLB > lb {
 		lb = s.staticLB
 	}
-	if s.cutByBound(lb) || lb >= s.best.Makespan {
-		return
+	if s.cutByBound(lb) || s.cutoff(lb) {
+		return true
 	}
 	// Dominance memo and critical path, cheapest-expected-first: with an
 	// incumbent and no deadline the bound flags cannot be affected by which
@@ -1017,33 +1093,36 @@ func (s *searcher) dfs() {
 			sketch, vsum := s.sketchAndSum()
 			if s.memo.probe(s.mask, vec, vsum, sketch) {
 				s.memoHits++
-				return
+				return true
 			}
-			if lb := s.pathBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
-				return
+			if lb := s.pathBound(); s.cutByBound(lb) || s.cutoff(lb) {
+				return true
 			}
 			s.memo.insert(s.mask, vec, vsum, sketch)
 		} else {
-			if lb := s.pathBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
-				return
+			if lb := s.pathBound(); s.cutByBound(lb) || s.cutoff(lb) {
+				return true
 			}
 			vec := s.fillStateVector(s.vecScratch)
 			s.vecScratch = vec
 			sketch, vsum := s.sketchAndSum()
 			if s.memo.probe(s.mask, vec, vsum, sketch) {
 				s.memoHits++
-				return
+				return true
 			}
 			s.memo.insert(s.mask, vec, vsum, sketch)
 		}
-	} else if lb := s.pathBound(); s.cutByBound(lb) || lb >= s.best.Makespan {
-		return
+	} else if lb := s.pathBound(); s.cutByBound(lb) || s.cutoff(lb) {
+		return true
 	}
+	return false
+}
 
-	// Collect candidates from the incrementally maintained frontier into
-	// this depth's reusable buffer, insertion-sorting as we go: smallest
-	// start first, then longest tail, then task index — a total order, so
-	// the expansion order is independent of frontier layout.
+// collectCandidates gathers this node's candidates from the incrementally
+// maintained frontier into the depth's reusable buffer, insertion-sorting
+// as it goes: smallest start first, then longest tail, then task index — a
+// total order, so the expansion order is independent of frontier layout.
+func (s *searcher) collectCandidates() []candidate {
 	fr := &s.frames[s.nSched]
 	cands := fr.cands[:0]
 	for _, t32 := range s.frontier {
@@ -1070,7 +1149,7 @@ func (s *searcher) dfs() {
 				st = s.finish[p]
 			}
 		}
-		if lb := st + s.time[t] + s.tail[t]; s.cutByBound(lb) || lb >= s.best.Makespan {
+		if lb := st + s.time[t] + s.tail[t]; s.cutByBound(lb) || s.cutoff(lb) {
 			continue
 		}
 		c := candidate{task: t, start: st}
@@ -1094,6 +1173,31 @@ func (s *searcher) dfs() {
 		cands[j+1] = c
 	}
 	fr.cands = cands
+	return cands
+}
+
+func (s *searcher) dfs() {
+	s.nodes++
+	if s.outOfBudget() {
+		s.truncated = true
+		return
+	}
+	if s.nSched == s.n {
+		if s.makespan <= s.deadline && s.makespan < s.best.Makespan {
+			s.record(s.starts, s.makespan)
+		} else {
+			s.cutByBound(s.makespan)
+		}
+		return
+	}
+	if s.opts.SatisfyOnly && s.bestSet {
+		return
+	}
+	if s.prunedOrMemo() {
+		return
+	}
+	cands := s.collectCandidates()
+	fr := &s.frames[s.nSched]
 	for i := range cands {
 		c := cands[i]
 		devs := s.devList[s.devOff[c.task]:s.devOff[c.task+1]]
