@@ -25,7 +25,7 @@ var benchMode = experiments.Mode{Quick: true}
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Run(name, benchMode); err != nil {
+		if _, err := experiments.Run(context.Background(), name, benchMode); err != nil {
 			b.Fatalf("%s: %v", name, err)
 		}
 	}

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -32,8 +34,11 @@ func main() {
 		os.Exit(2)
 	}
 	mode := experiments.Mode{Quick: *quick, SolverWorkers: *solverW}
+	// The bench harness is the context origin: Ctrl-C cancels the sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *only == "" {
-		if err := experiments.RunAll(os.Stdout, mode); err != nil {
+		if err := experiments.RunAll(ctx, os.Stdout, mode); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -42,7 +47,7 @@ func main() {
 	for _, name := range strings.Split(*only, ",") {
 		name = strings.TrimSpace(name)
 		t0 := time.Now()
-		res, err := experiments.Run(name, mode)
+		res, err := experiments.Run(ctx, name, mode)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)

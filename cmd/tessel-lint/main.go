@@ -1,0 +1,51 @@
+// Command tessel-lint runs the repo's analyzer suite (internal/lint) over
+// the packages matching its arguments, in the multichecker style of
+// golang.org/x/tools: findings print one per line as
+//
+//	file:line:col: analyzer: message
+//
+// and the exit status is 1 when there are findings, 2 on driver errors.
+// With no arguments it analyzes ./... relative to the current directory.
+// CI runs `tessel-lint ./...` and fails the build on any finding; see
+// CONTRIBUTING.md for the invariants enforced and the //tessel: directive
+// vocabulary used to annotate or waive them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"tessel/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tessel-lint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the tessel analyzer suite over the named packages (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := lint.Run(context.Background(), ".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tessel-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tessel-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -86,10 +86,13 @@ type searchResponse struct {
 }
 
 type searchStatsJSON struct {
-	Assignments int   `json:"assignments"`
-	Solved      int   `json:"solved"`
-	Pruned      int   `json:"pruned"`
-	Improved    int   `json:"improved"`
+	Assignments int `json:"assignments"`
+	Solved      int `json:"solved"`
+	Pruned      int `json:"pruned"`
+	Improved    int `json:"improved"`
+	// NRSwept is the largest repetend count N_R the sweep reached before
+	// settling, the serving-side measure of sweep effort per request.
+	NRSwept     int   `json:"nr_swept"`
 	SolverNodes int64 `json:"solver_nodes"`
 	// MemoHits is the number of solver nodes pruned by the dominance memo
 	// across the repetend instance solves.
@@ -310,6 +313,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Solved:            res.Stats.Solved,
 			Pruned:            res.Stats.Pruned,
 			Improved:          res.Stats.Improved,
+			NRSwept:           res.Stats.NRSwept,
 			SolverNodes:       res.Stats.SolverNodes,
 			MemoHits:          res.Stats.SolverMemoHits,
 			NodesPerSec:       res.Stats.NodesPerSec(),

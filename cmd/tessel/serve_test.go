@@ -76,6 +76,11 @@ func TestServeSearchEndToEnd(t *testing.T) {
 	if first.Stats.MemoHits < 0 || first.Stats.MemoHits > first.Stats.SolverNodes {
 		t.Fatalf("memo hits out of range: %+v", first.Stats)
 	}
+	// A cold search sweeps at least one repetend count (counter parity with
+	// core.Stats.NRSwept, enforced statically by the counterparity analyzer).
+	if first.Stats.NRSwept <= 0 {
+		t.Fatalf("nr_swept not populated: %+v", first.Stats)
+	}
 	// The period-machinery counters must be populated too: a default
 	// (tight-compaction) search runs feasibility probes for every solved
 	// repetend, and relaxations imply probes.

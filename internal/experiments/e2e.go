@@ -56,7 +56,7 @@ var e2eCache sync.Map // key string → *E2EResult
 // runE2E builds, searches, instantiates and simulates every system for one
 // model family across the cluster sizes. Results are cached per (family,
 // mode) since Figures 13/14, 16 and 17 share them.
-func runE2E(family string, m Mode) (*E2EResult, error) {
+func runE2E(ctx context.Context, family string, m Mode) (*E2EResult, error) {
 	key := fmt.Sprintf("%s-%v", family, m.Quick)
 	if v, ok := e2eCache.Load(key); ok {
 		return v.(*E2EResult), nil
@@ -98,7 +98,7 @@ func runE2E(family string, m Mode) (*E2EResult, error) {
 				opts.N = micros
 				opts.Memory = avail
 				var cres *core.Result
-				cres, err = core.Search(context.Background(), advanced, opts)
+				cres, err = core.Search(ctx, advanced, opts)
 				if err == nil {
 					s = cres.Full
 				}
@@ -201,10 +201,10 @@ func scheduleWaitFrac(s *sched.Schedule, d sched.DeviceID) float64 {
 }
 
 // Fig13 reproduces Figure 13: GPT end-to-end training throughput.
-func Fig13(m Mode) (*E2EResult, error) { return runE2E("GPT", m) }
+func Fig13(ctx context.Context, m Mode) (*E2EResult, error) { return runE2E(ctx, "GPT", m) }
 
 // Fig14 reproduces Figure 14: mT5 end-to-end training throughput.
-func Fig14(m Mode) (*E2EResult, error) { return runE2E("mT5", m) }
+func Fig14(ctx context.Context, m Mode) (*E2EResult, error) { return runE2E(ctx, "mT5", m) }
 
 // String prints the PFLOPS bars of Figures 13/14.
 func (r *E2EResult) String() string {

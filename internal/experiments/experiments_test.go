@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 var quick = Mode{Quick: true}
 
 func TestFig2ImbalanceGrows(t *testing.T) {
-	res, err := Fig2(quick)
+	res, err := Fig2(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestFig2ImbalanceGrows(t *testing.T) {
 }
 
 func TestFig3TimeGrows(t *testing.T) {
-	res, err := Fig3(quick)
+	res, err := Fig3(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestFig3TimeGrows(t *testing.T) {
 }
 
 func TestTable2TesselZeroAndWins(t *testing.T) {
-	res, err := Table2(quick)
+	res, err := Table2(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestTable2TesselZeroAndWins(t *testing.T) {
 }
 
 func TestFig8ChartsRender(t *testing.T) {
-	res, err := Fig8(quick)
+	res, err := Fig8(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFig8ChartsRender(t *testing.T) {
 }
 
 func TestFig9TesselFasterAtScale(t *testing.T) {
-	res, err := Fig9(quick)
+	res, err := Fig9(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFig9TesselFasterAtScale(t *testing.T) {
 }
 
 func TestFig10LazyNoWorseAndSameResult(t *testing.T) {
-	res, err := Fig10(quick)
+	res, err := Fig10(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestFig10LazyNoWorseAndSameResult(t *testing.T) {
 }
 
 func TestFig11MonotoneAndAnchors(t *testing.T) {
-	res, err := Fig11(quick)
+	res, err := Fig11(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestFig11MonotoneAndAnchors(t *testing.T) {
 }
 
 func TestFig12MonotoneInMemory(t *testing.T) {
-	res, err := Fig12(quick)
+	res, err := Fig12(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestFig12MonotoneInMemory(t *testing.T) {
 }
 
 func TestFig13TesselWins(t *testing.T) {
-	res, err := Fig13(quick)
+	res, err := Fig13(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestFig13TesselWins(t *testing.T) {
 }
 
 func TestFig14TesselWins(t *testing.T) {
-	res, err := Fig14(quick)
+	res, err := Fig14(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestFig14TesselWins(t *testing.T) {
 }
 
 func TestFig15TradeOff(t *testing.T) {
-	res, err := Fig15(quick)
+	res, err := Fig15(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestFig15TradeOff(t *testing.T) {
 }
 
 func TestFig16WaitNearTheory(t *testing.T) {
-	res, err := Fig16(quick)
+	res, err := Fig16(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestFig16WaitNearTheory(t *testing.T) {
 }
 
 func TestFig17NonBlockingHelps(t *testing.T) {
-	res, err := Fig17(quick)
+	res, err := Fig17(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestFig17NonBlockingHelps(t *testing.T) {
 }
 
 func TestTable3Prints(t *testing.T) {
-	res, err := Table3(quick)
+	res, err := Table3(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestTable3Prints(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("nope", quick); err == nil {
+	if _, err := Run(context.Background(), "nope", quick); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -307,7 +308,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Skip("RunAll covers every driver; skipped in -short")
 	}
 	var buf bytes.Buffer
-	if err := RunAll(&buf, quick); err != nil {
+	if err := RunAll(context.Background(), &buf, quick); err != nil {
 		t.Fatalf("RunAll: %v\noutput:\n%s", err, buf.String())
 	}
 	for _, name := range Experiment {

@@ -32,18 +32,18 @@ type Fig10Result struct {
 // Fig10 reproduces Figure 10: (a) the distribution of search time across
 // warmup/repetend/cooldown phases with lazy search enabled, and (b) the
 // relative cost without the lazy-search optimization.
-func Fig10(m Mode) (*Fig10Result, error) {
+func Fig10(ctx context.Context, m Mode) (*Fig10Result, error) {
 	shapes := UnitShapes()
 	res := &Fig10Result{}
 	for _, name := range ModelOrder {
 		p := shapes[ModelShapes[name]]
-		lazy, err := core.Search(context.Background(), p, searchOpts(m))
+		lazy, err := core.Search(ctx, p, searchOpts(m))
 		if err != nil {
 			return nil, fmt.Errorf("fig10: %s: %w", p.Name, err)
 		}
 		eagerOpts := searchOpts(m)
 		eagerOpts.DisableLazy = true
-		eager, err := core.Search(context.Background(), p, eagerOpts)
+		eager, err := core.Search(ctx, p, eagerOpts)
 		if err != nil {
 			return nil, fmt.Errorf("fig10: %s eager: %w", p.Name, err)
 		}

@@ -18,7 +18,7 @@ type Fig11Result struct {
 // Fig11 reproduces Figure 11. Bubble rates are monotone non-increasing in
 // N_R, so once a shape reaches zero the remaining points are filled without
 // re-searching.
-func Fig11(m Mode) (*Fig11Result, error) {
+func Fig11(ctx context.Context, m Mode) (*Fig11Result, error) {
 	shapes := UnitShapes()
 	maxNR := 8
 	if m.Quick {
@@ -39,7 +39,7 @@ func Fig11(m Mode) (*Fig11Result, error) {
 			}
 			opts := searchOpts(m)
 			opts.MaxNR = nr
-			sres, err := core.Search(context.Background(), p, opts)
+			sres, err := core.Search(ctx, p, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig11: %s nr=%d: %w", name, nr, err)
 			}
@@ -86,7 +86,7 @@ type Fig12Result struct {
 // achieves zero bubble under unbounded memory, then sweep the memory
 // capacity M and record the bubble rate. Infeasible capacities (no repetend
 // fits) report bubble 1.0.
-func Fig12(m Mode) (*Fig12Result, error) {
+func Fig12(ctx context.Context, m Mode) (*Fig12Result, error) {
 	shapes := UnitShapes()
 	capacities := []int{1, 3, 5, 7, 9, 11, 13, 15, 17}
 	maxNR := 8
@@ -102,7 +102,7 @@ func Fig12(m Mode) (*Fig12Result, error) {
 		for nr := 1; nr <= maxNR; nr++ {
 			opts := searchOpts(m)
 			opts.MaxNR = nr
-			sres, err := core.Search(context.Background(), p, opts)
+			sres, err := core.Search(ctx, p, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig12: %s nr=%d: %w", name, nr, err)
 			}
@@ -117,7 +117,7 @@ func Fig12(m Mode) (*Fig12Result, error) {
 			opts := searchOpts(m)
 			opts.MaxNR = zeroNR
 			opts.Memory = cap
-			sres, err := core.Search(context.Background(), p, opts)
+			sres, err := core.Search(ctx, p, opts)
 			if err != nil {
 				// Memory too tight for any repetend: full bubble.
 				series = append(series, 1)

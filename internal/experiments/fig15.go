@@ -56,7 +56,7 @@ func flavaVShape(c model.CostModel) (*sched.Placement, error) {
 // every operator across all devices, and Tessel schedules the searched
 // K-shape placement. Latency is the completion time of all micro-batches;
 // throughput counts one request per micro-batch.
-func Fig15(m Mode) (*Fig15Result, error) {
+func Fig15(ctx context.Context, m Mode) (*Fig15Result, error) {
 	cost := flavaCost()
 	kshape, err := flavaKShape(cost)
 	if err != nil {
@@ -105,7 +105,7 @@ func Fig15(m Mode) (*Fig15Result, error) {
 		}
 		opts := searchOpts(m)
 		opts.N = n
-		cres, err := core.Search(context.Background(), kshape, opts)
+		cres, err := core.Search(ctx, kshape, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig15: tessel n=%d: %w", n, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,10 +31,10 @@ type Fig16Result struct {
 
 // Fig16 reproduces Figure 16 from the Figures 13/14 artifacts: (a) block
 // execution time, (b) wait-time occupation with the theoretical estimate.
-func Fig16(m Mode) (*Fig16Result, error) {
+func Fig16(ctx context.Context, m Mode) (*Fig16Result, error) {
 	res := &Fig16Result{}
 	for _, family := range []string{"GPT", "mT5"} {
-		e2e, err := runE2E(family, m)
+		e2e, err := runE2E(ctx, family, m)
 		if err != nil {
 			return nil, err
 		}
@@ -92,10 +93,10 @@ type Fig17Result struct {
 // Fig17 reproduces Figure 17: end-to-end training time of the searched
 // GPT (M-shape) and mT5 (NN-shape) schedules under blocking vs non-blocking
 // communication.
-func Fig17(m Mode) (*Fig17Result, error) {
+func Fig17(ctx context.Context, m Mode) (*Fig17Result, error) {
 	res := &Fig17Result{}
 	for _, family := range []string{"GPT", "mT5"} {
-		e2e, err := runE2E(family, m)
+		e2e, err := runE2E(ctx, family, m)
 		if err != nil {
 			return nil, err
 		}

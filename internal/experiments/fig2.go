@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,7 +28,7 @@ type Fig2Result struct {
 // Fig2 reproduces Figure 2: a GPT-6.7B-style layer stack (hidden 4096) with
 // a 768k-vocabulary embedding partitioned by the Piper planner onto 4
 // devices; per-stage iteration time is #micro-batches × stage time.
-func Fig2(m Mode) (*Fig2Result, error) {
+func Fig2(ctx context.Context, m Mode) (*Fig2Result, error) {
 	const microBatches = 32
 	cfg := model.TransformerConfig{Name: "GPT-6.7B", ParamsB: 6.7, Hidden: 4096, Heads: 32, Vocab: 768_000}
 	cost := model.DefaultCostModel(4)

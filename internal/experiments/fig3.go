@@ -28,7 +28,7 @@ type Fig3Result struct {
 // placement (fwd=1, bwd=2, 4 devices) for an increasing number of
 // micro-batches. The per-point budget bounds the exponential blow-up the
 // figure demonstrates; truncated points are reported as non-optimal.
-func Fig3(m Mode) (*Fig3Result, error) {
+func Fig3(ctx context.Context, m Mode) (*Fig3Result, error) {
 	p := UnitShapes()["v-shape"]
 	points := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	budget := int64(3_000_000)
@@ -38,7 +38,7 @@ func Fig3(m Mode) (*Fig3Result, error) {
 	}
 	res := &Fig3Result{}
 	for _, n := range points {
-		_, sres, err := core.TimeOptimal(context.Background(), p, n, core.Options{SolverNodes: budget})
+		_, sres, err := core.TimeOptimal(ctx, p, n, core.Options{SolverNodes: budget})
 		if err != nil {
 			return nil, fmt.Errorf("fig3: n=%d: %w", n, err)
 		}

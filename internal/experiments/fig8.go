@@ -30,7 +30,7 @@ type Fig8Result struct {
 // Fig8 reproduces Figure 8: the searched training and inference schedules
 // for the GPT (M-shape), mT5 (NN-shape) and Flava (K-shape) placements,
 // with repetend boundaries marked.
-func Fig8(m Mode) (*Fig8Result, error) {
+func Fig8(ctx context.Context, m Mode) (*Fig8Result, error) {
 	shapes := UnitShapes()
 	res := &Fig8Result{}
 	for _, name := range ModelOrder {
@@ -43,7 +43,7 @@ func Fig8(m Mode) (*Fig8Result, error) {
 			if v.inference {
 				p = infer
 			}
-			sres, err := core.Search(context.Background(), p, searchOpts(m))
+			sres, err := core.Search(ctx, p, searchOpts(m))
 			if err != nil {
 				return nil, fmt.Errorf("fig8: %s inference=%v: %w", name, v.inference, err)
 			}

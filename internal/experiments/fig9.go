@@ -31,7 +31,7 @@ type Fig9Result struct {
 // Fig9 reproduces Figure 9: TO search cost normalized by Tessel's search
 // time for the three model placements, training (a) and inference (b), at
 // nmb ∈ {2, 4, 6}.
-func Fig9(m Mode) (*Fig9Result, error) {
+func Fig9(ctx context.Context, m Mode) (*Fig9Result, error) {
 	shapes := UnitShapes()
 	nmbs := []int{2, 4, 6}
 	budget := int64(5_000_000)
@@ -47,7 +47,7 @@ func Fig9(m Mode) (*Fig9Result, error) {
 			if inference {
 				p = placement.Inference(train)
 			}
-			sres, err := core.Search(context.Background(), p, searchOpts(m))
+			sres, err := core.Search(ctx, p, searchOpts(m))
 			if err != nil {
 				return nil, fmt.Errorf("fig9: %s: %w", p.Name, err)
 			}
@@ -58,7 +58,7 @@ func Fig9(m Mode) (*Fig9Result, error) {
 				TONmb:      nmbs,
 			}
 			for _, n := range nmbs {
-				_, tores, err := core.TimeOptimal(context.Background(), p, n, core.Options{SolverNodes: budget})
+				_, tores, err := core.TimeOptimal(ctx, p, n, core.Options{SolverNodes: budget})
 				if err != nil {
 					return nil, fmt.Errorf("fig9: TO %s nmb=%d: %w", p.Name, n, err)
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -13,36 +14,36 @@ var Experiment = []string{
 }
 
 // Run executes one experiment by name and returns its printable result.
-func Run(name string, m Mode) (fmt.Stringer, error) {
+func Run(ctx context.Context, name string, m Mode) (fmt.Stringer, error) {
 	switch name {
 	case "fig2":
-		return Fig2(m)
+		return Fig2(ctx, m)
 	case "fig3":
-		return Fig3(m)
+		return Fig3(ctx, m)
 	case "fig8":
-		return Fig8(m)
+		return Fig8(ctx, m)
 	case "fig9":
-		return Fig9(m)
+		return Fig9(ctx, m)
 	case "fig10":
-		return Fig10(m)
+		return Fig10(ctx, m)
 	case "fig11":
-		return Fig11(m)
+		return Fig11(ctx, m)
 	case "fig12":
-		return Fig12(m)
+		return Fig12(ctx, m)
 	case "fig13":
-		return Fig13(m)
+		return Fig13(ctx, m)
 	case "fig14":
-		return Fig14(m)
+		return Fig14(ctx, m)
 	case "fig15":
-		return Fig15(m)
+		return Fig15(ctx, m)
 	case "fig16":
-		return Fig16(m)
+		return Fig16(ctx, m)
 	case "fig17":
-		return Fig17(m)
+		return Fig17(ctx, m)
 	case "table2":
-		return Table2(m)
+		return Table2(ctx, m)
 	case "table3":
-		return Table3(m)
+		return Table3(ctx, m)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (have %v)", name, Experiment)
 	}
@@ -50,11 +51,11 @@ func Run(name string, m Mode) (fmt.Stringer, error) {
 
 // RunAll executes every experiment, streaming results to w. It keeps going
 // past individual failures and returns the first error encountered.
-func RunAll(w io.Writer, m Mode) error {
+func RunAll(ctx context.Context, w io.Writer, m Mode) error {
 	var firstErr error
 	for _, name := range Experiment {
 		t0 := time.Now()
-		res, err := Run(name, m)
+		res, err := Run(ctx, name, m)
 		if err != nil {
 			fmt.Fprintf(w, "%s: ERROR: %v\n\n", name, err)
 			if firstErr == nil {

@@ -30,7 +30,7 @@ type Table2Result struct {
 
 // Table2 reproduces Table II with the unit-cost placements (balanced
 // per-device workloads, as §VI-B assumes).
-func Table2(m Mode) (*Table2Result, error) {
+func Table2(ctx context.Context, m Mode) (*Table2Result, error) {
 	shapes := UnitShapes()
 	n := 64
 	if m.Quick {
@@ -60,7 +60,7 @@ func Table2(m Mode) (*Table2Result, error) {
 			}
 			row.OneFOneBPlus = baseline.SteadyBubble(plus)
 		}
-		sres, err := core.Search(context.Background(), p, searchOpts(m))
+		sres, err := core.Search(ctx, p, searchOpts(m))
 		if err != nil {
 			return nil, fmt.Errorf("table2: tessel on %s: %w", p.Name, err)
 		}

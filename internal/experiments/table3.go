@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,7 +13,7 @@ type Table3Result struct{}
 
 // Table3 returns the Table III configurations (static data, kept as an
 // experiment so the harness covers every table).
-func Table3(Mode) (*Table3Result, error) { return &Table3Result{}, nil }
+func Table3(context.Context, Mode) (*Table3Result, error) { return &Table3Result{}, nil }
 
 // String prints Table III.
 func (r *Table3Result) String() string {

@@ -1,0 +1,156 @@
+package lint
+
+// atomicfield: the parallel solver's shared incumbent and job cursor (and
+// any future shared counter) are correct only if every access goes through
+// sync/atomic — one plain read or write anywhere reintroduces the data
+// race the atomics exist to prevent, and the race detector only catches it
+// on exercised interleavings. This analyzer enforces the discipline
+// statically and whole-program: any struct field whose address is passed
+// to a sync/atomic function anywhere in the module must never be read or
+// written plainly anywhere else.
+//
+// Typed atomics (atomic.Int64, atomic.Bool, ...) are immune by
+// construction — their representation is unexported, so the compiler
+// already rejects plain access — and are the repo's preferred style; this
+// analyzer guards the &field-style uses that typed atomics cannot express
+// and any future regression that mixes the two worlds.
+//
+// The analysis is whole-program because the danger is precisely a *remote*
+// plain access: phase one walks every loaded module package and collects
+// the fields used atomically; phase two flags plain selector accesses to
+// those fields in the package under analysis. Object identity is shared
+// across packages by the loader, so a field is tracked no matter where the
+// atomic access lives.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer flags plain accesses to atomically-accessed fields.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc: "flag plain reads/writes of struct fields that are accessed through " +
+		"sync/atomic anywhere in the module",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Phase one: collect atomically-accessed fields across the module.
+	atomicFields := map[*types.Var][]*Package{}
+	for _, pkg := range pass.All {
+		collectAtomicFields(pkg, atomicFields)
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase two: flag plain accesses in this package. Accesses inside the
+	// argument of a sync/atomic call are the sanctioned ones.
+	for _, file := range pass.Files {
+		sanctioned := map[ast.Expr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if sel := addressedSelector(arg); sel != nil {
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fv := selectedField(pass.Info, sel)
+			if fv == nil {
+				return true
+			}
+			if _, tracked := atomicFields[fv]; !tracked {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s.%s is accessed with sync/atomic elsewhere and must not be read or written plainly; use the atomic API (or a typed atomic)", fieldOwner(fv), fv.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAtomicFields records every struct field whose address is an
+// argument to a sync/atomic function in pkg.
+func collectAtomicFields(pkg *Package, out map[*types.Var][]*Package) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pkg.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				sel := addressedSelector(arg)
+				if sel == nil {
+					continue
+				}
+				if fv := selectedField(pkg.Info, sel); fv != nil {
+					out[fv] = append(out[fv], pkg)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	pkgPath, _ := calleePkgFunc(info, call)
+	return pkgPath == "sync/atomic"
+}
+
+// addressedSelector unwraps &x.f arguments to the selector.
+func addressedSelector(arg ast.Expr) *ast.SelectorExpr {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil
+	}
+	sel, _ := un.X.(*ast.SelectorExpr)
+	return sel
+}
+
+// selectedField resolves a selector expression to the struct field it
+// names, or nil when it is anything else (method, package member, ...).
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fv, _ := s.Obj().(*types.Var)
+	return fv
+}
+
+// fieldOwner names the struct type a field belongs to, best-effort, for
+// diagnostics.
+func fieldOwner(fv *types.Var) string {
+	if fv.Pkg() == nil {
+		return "?"
+	}
+	scope := fv.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fv {
+				return strings.TrimPrefix(fv.Pkg().Path()+"."+name, "tessel/")
+			}
+		}
+	}
+	return fv.Pkg().Name()
+}

@@ -1,0 +1,90 @@
+package lint
+
+// determinism: byte-identical schedule search is the repo's core guarantee
+// (worker-count-independent sweeps, reproducible fingerprints), and the
+// three constructs this analyzer flags are exactly the ones that have
+// produced — or nearly produced — nondeterminism in past PRs:
+//
+//   - ranging over a map: Go randomizes iteration order, so any map-range
+//     whose effect reaches an output must sort its keys first (or carry a
+//     //tessel:orderfree directive asserting the loop is order-free, e.g.
+//     because its results are sorted before use);
+//   - time.Now and math/rand in search code: wall-clock and randomness
+//     must never feed schedule bytes (telemetry uses are waived with a
+//     justification);
+//   - sort.Slice: the unstable sort is deterministic only under a total
+//     order. PR 4 caught a shipping tie-break bug of exactly this shape
+//     (ordersFromStarts), so every sort.Slice in search code must either
+//     become sort.SliceStable or carry //tessel:totalorder documenting
+//     that the comparator breaks every tie.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinismPackages are the search packages the analyzer covers: the
+// ones whose outputs are covered by the byte-identical determinism
+// guarantee.
+var determinismPackages = []string{
+	"tessel/internal/solver",
+	"tessel/internal/repetend",
+	"tessel/internal/core",
+	"tessel/internal/sched",
+	"tessel/internal/engine",
+}
+
+// DeterminismAnalyzer flags nondeterminism sources in the search packages.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map-range iteration, time.Now/math/rand, and unstable sort.Slice " +
+		"in the schedule-search packages, whose results must be byte-identical " +
+		"functions of their inputs",
+	Applies: func(pkgPath string) bool {
+		for _, p := range determinismPackages {
+			if pkgPath == p {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if pass.hasDirective(n.Pos(), "orderfree") {
+					return true
+				}
+				pass.Reportf(n.Pos(), "map iteration order is nondeterministic; sort the keys before ranging, or annotate //tessel:orderfree if the loop is order-independent")
+			case *ast.CallExpr:
+				pkgPath, name := calleePkgFunc(pass.Info, n)
+				switch {
+				case pkgPath == "time" && name == "Now":
+					pass.Reportf(n.Pos(), "time.Now in search code: wall-clock readings must never influence schedule bytes")
+				case pkgPath == "math/rand" || pkgPath == "math/rand/v2" ||
+					strings.HasPrefix(pkgPath, "math/rand/"):
+					pass.Reportf(n.Pos(), "math/rand in search code: randomness breaks byte-identical search results")
+				case pkgPath == "sort" && name == "Slice":
+					if pass.hasDirective(n.Pos(), "totalorder") {
+						return true
+					}
+					pass.Reportf(n.Pos(), "sort.Slice is unstable; use sort.SliceStable, or annotate //tessel:totalorder if the comparator breaks every tie")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

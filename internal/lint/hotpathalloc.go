@@ -1,0 +1,284 @@
+package lint
+
+// hotpathalloc: the solver's node loop and the period engine's probe/
+// relax/swap paths run millions of times per search and are engineered to
+// perform zero heap allocations in the steady state (verified dynamically
+// by the *SteadyStateAllocs tests on a few shapes). This analyzer makes
+// the property reviewable statically and on every code path: a function
+// whose doc comment carries //tessel:noalloc must not contain allocating
+// constructs.
+//
+// Flagged inside a marked function:
+//
+//   - function literals (closure headers allocate when they capture);
+//   - fmt.* calls (interface boxing plus internal buffers);
+//   - map and slice composite literals;
+//   - make and new (unless growth-guarded, see below);
+//   - go statements (goroutine stacks are not hot-path material);
+//   - string concatenation;
+//   - append that does not write back to the slice it extends
+//     ("x = append(x, ...)" and "x = append(x[:0], ...)" reuse pooled
+//     capacity; appends into fresh variables escape);
+//   - implicit interface conversions at call arguments and explicit
+//     conversions to interface types (each boxes its operand).
+//
+// Two idioms are recognized as allocation-free in the steady state and
+// allowed without waivers:
+//
+//   - the self-append pattern above, which the pooled buffers rely on;
+//   - make/append under a capacity guard (an enclosing if whose condition
+//     consults cap(...)): the one-time growth path of reusable scratch,
+//     amortized to zero across solves.
+//
+// Anything else needs a //tessel:waive:hotpathalloc with a justification.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAllocAnalyzer enforces //tessel:noalloc function bodies.
+var HotPathAllocAnalyzer = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flag allocating constructs (closures, interface conversions, fmt, " +
+		"map/slice literals, un-pooled append, make/new) inside functions " +
+		"marked //tessel:noalloc",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDirective(fd, "noalloc") {
+				continue
+			}
+			checkNoAllocBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAllocBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// capGuarded reports whether pos sits inside an if statement whose
+	// condition consults cap(...) — the growth path of a reusable buffer.
+	var guards []*ast.IfStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && condMentionsCap(pass, ifs.Cond) {
+			guards = append(guards, ifs)
+		}
+		return true
+	})
+	capGuarded := func(pos token.Pos) bool {
+		for _, g := range guards {
+			if g.Body.Pos() <= pos && pos <= g.Body.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in //tessel:noalloc function %s allocates", name)
+			return false // the literal's body is not part of the hot path
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //tessel:noalloc function %s allocates a goroutine", name)
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in //tessel:noalloc function %s allocates", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in //tessel:noalloc function %s allocates", name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.Info.Types[n]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation in //tessel:noalloc function %s allocates", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, name, n, capGuarded)
+		}
+		return true
+	})
+}
+
+func condMentionsCap(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "cap" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkNoAllocCall(pass *Pass, name string, call *ast.CallExpr, capGuarded func(token.Pos) bool) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if !capGuarded(call.Pos()) {
+					pass.Reportf(call.Pos(), "make in //tessel:noalloc function %s allocates (growth paths belong under a cap(...) guard)", name)
+				}
+			case "new":
+				pass.Reportf(call.Pos(), "new in //tessel:noalloc function %s allocates", name)
+			case "append":
+				if !selfAppend(pass, call) && !capGuarded(call.Pos()) {
+					pass.Reportf(call.Pos(), "append in //tessel:noalloc function %s escapes a fresh slice; pooled buffers use x = append(x[:0], ...)", name)
+				}
+			}
+			return
+		}
+	}
+	// Conversions: T(x) where T is an interface type boxes x.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			if atv, ok := pass.Info.Types[call.Args[0]]; ok && !types.IsInterface(atv.Type) {
+				pass.Reportf(call.Pos(), "conversion to interface %s in //tessel:noalloc function %s boxes its operand", tv.Type, name)
+			}
+		}
+		return
+	}
+	// fmt calls.
+	if pkgPath, _ := calleePkgFunc(pass.Info, call); pkgPath == "fmt" {
+		pass.Reportf(call.Pos(), "fmt call in //tessel:noalloc function %s allocates", name)
+		return
+	}
+	// Implicit interface conversions at call arguments.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice does not box
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.Type == types.Typ[types.UntypedNil] || types.IsInterface(atv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument converts %s to interface %s in //tessel:noalloc function %s, boxing it", atv.Type, pt, name)
+	}
+}
+
+// callSignature resolves the signature of a (non-builtin, non-conversion)
+// call expression.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// selfAppend reports whether the append call writes back to the slice it
+// extends: it is the RHS (possibly via intermediate wrapping in the same
+// assignment) of `x = append(x, ...)` or `x = append(x[:n], ...)`, the
+// pooled-buffer idiom. Detection is syntactic: the first argument (minus a
+// slice operation on it) must spell the same expression as an assignment
+// LHS in the statement that contains the call.
+func selfAppend(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	base := call.Args[0]
+	if sl, ok := base.(*ast.SliceExpr); ok {
+		base = sl.X
+	}
+	baseStr := exprString(base)
+	if baseStr == "" {
+		return false
+	}
+	// Find the enclosing assignment by scanning the file's statements that
+	// contain this call.
+	for _, file := range pass.Files {
+		if file.Pos() <= call.Pos() && call.Pos() <= file.End() {
+			found := false
+			ast.Inspect(file, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || as.Tok != token.ASSIGN {
+					return true
+				}
+				if !(as.Pos() <= call.Pos() && call.Pos() <= as.End()) {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if exprString(lhs) == baseStr {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			return found
+		}
+	}
+	return false
+}
+
+// exprString renders identifier/selector/star/index chains; other shapes
+// return "" (never considered equal).
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		x := exprString(e.X)
+		if x == "" {
+			return ""
+		}
+		return x + "." + e.Sel.Name
+	case *ast.StarExpr:
+		x := exprString(e.X)
+		if x == "" {
+			return ""
+		}
+		return "*" + x
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		x := exprString(e.X)
+		i := exprString(e.Index)
+		if x == "" || i == "" {
+			return ""
+		}
+		return x + "[" + i + "]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
+}

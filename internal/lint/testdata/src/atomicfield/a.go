@@ -1,0 +1,20 @@
+// Package atomicfield is the atomicfield analyzer's fixture: the tracked
+// field is declared (and used atomically) in the state subpackage, and the
+// plain access below lives in a different package — the whole-program case
+// the analyzer exists for.
+package atomicfield
+
+import "tessel/internal/lint/testdata/src/atomicfield/state"
+
+func Race(s *state.Shared) int64 {
+	return s.Count // want "accessed with sync/atomic elsewhere"
+}
+
+func Snapshot(s *state.Shared) int64 {
+	//tessel:waive:atomicfield single-goroutine snapshot taken after all writers joined
+	return s.Count
+}
+
+func Fine(s *state.Shared) int64 {
+	return s.Incr() + s.Pad()
+}

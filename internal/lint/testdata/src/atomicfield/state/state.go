@@ -1,0 +1,30 @@
+// Package state declares a shared counter accessed through sync/atomic;
+// the atomicfield fixture's plain accesses to it (here and in the parent
+// package) must be flagged.
+package state
+
+import "sync/atomic"
+
+// Shared is a cross-goroutine counter. Count is atomic-only; pad is never
+// accessed atomically and stays fair game for plain access.
+type Shared struct {
+	Count int64
+	pad   int64
+}
+
+func (s *Shared) Incr() int64 {
+	return atomic.AddInt64(&s.Count, 1)
+}
+
+func (s *Shared) Load() int64 {
+	return atomic.LoadInt64(&s.Count)
+}
+
+func (s *Shared) Reset() {
+	s.Count = 0 // want "must not be read or written plainly"
+}
+
+func (s *Shared) Pad() int64 {
+	s.pad++
+	return s.pad
+}

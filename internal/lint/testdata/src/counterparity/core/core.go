@@ -1,0 +1,22 @@
+// Package core is the aggregate side of the counterparity fixture: it
+// declares Stats and imports both producers, so rule 1 runs here. The
+// missing counterpart for solver.Result.Extra is reported at the Stats
+// anchor because the field itself lies in the imported package.
+package core
+
+import (
+	"tessel/internal/lint/testdata/src/counterparity/repetend"
+	"tessel/internal/lint/testdata/src/counterparity/solver"
+)
+
+type Stats struct { // want "counter solver.Result.Extra has no Stats counterpart"
+	SolverNodes  int64
+	PeriodProbes int64
+	NRSwept      int
+}
+
+// Merge keeps the producer imports live.
+func Merge(s *Stats, r solver.Result, p repetend.Repetend) {
+	s.SolverNodes += r.Nodes
+	s.PeriodProbes += p.PeriodProbes
+}

@@ -1,0 +1,10 @@
+// Package repetend is the second producer of the counterparity fixture.
+package repetend
+
+// Repetend carries one matched counter and one field excluded with a
+// waiver at its declaration.
+type Repetend struct {
+	PeriodProbes int64
+	//tessel:waive:counterparity scratch accumulator, not an effort counter
+	Widgets int64
+}

@@ -1,0 +1,11 @@
+// Package solver is the producer side of the counterparity fixture.
+package solver
+
+// Result mimics the real solver result: Nodes reaches Stats under the
+// Solver prefix, Extra has no counterpart and must be flagged, and Small
+// is an int (producer counters are int64-only, so it is ignored).
+type Result struct {
+	Nodes int64
+	Extra int64
+	Small int
+}

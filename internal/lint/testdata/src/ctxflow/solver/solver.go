@@ -1,0 +1,49 @@
+// Package solver is the ctxflow analyzer's fixture. Its base name puts it
+// in the analyzer's entry-point scope, so exported Solve/Search/Run/...
+// functions must take a context; the package body exercises the
+// Background/TODO rule and both allowed idioms.
+package solver
+
+import "context"
+
+func SearchPlain(n int) int { // want "must accept a context.Context"
+	return n
+}
+
+func SearchCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Solve is the convenience-wrapper idiom: the SolveContext sibling takes
+// the context, so neither the signature nor the Background() is flagged.
+func Solve(n int) int {
+	return SolveContext(context.Background(), n)
+}
+
+func SolveContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// RunGuarded defaults a nil context: the nil-guard idiom.
+func RunGuarded(ctx context.Context, n int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_ = ctx
+	return n
+}
+
+func mint() context.Context {
+	return context.Background() // want "detaches callees"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "detaches callees"
+}
+
+func minted() context.Context {
+	//tessel:waive:ctxflow fixture-building helper outside any request path
+	return context.Background()
+}

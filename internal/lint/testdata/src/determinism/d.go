@@ -1,0 +1,60 @@
+// Package determinism is the determinism analyzer's fixture: one flagged
+// and one allowed form of each nondeterminism source.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapRangeFlagged(m map[int]int) int {
+	total := 0
+	for k := range m { // want "map iteration order is nondeterministic"
+		total += k
+	}
+	return total
+}
+
+func mapRangeWaived(m map[int]int) int {
+	total := 0
+	//tessel:orderfree summation is commutative
+	for k := range m {
+		total += k
+	}
+	return total
+}
+
+func sliceRangeAllowed(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in search code"
+}
+
+func wallClockWaived() int64 {
+	//tessel:waive:determinism telemetry only, never reaches schedule bytes
+	return time.Now().UnixNano()
+}
+
+func randomness() int {
+	return rand.Intn(10) // want "math/rand in search code"
+}
+
+func unstableSort(s []int) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] }) // want "sort.Slice is unstable"
+}
+
+func totalOrderSort(s []int) {
+	//tessel:totalorder ints compare totally, every tie is broken
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func stableSortAllowed(s []int) {
+	sort.SliceStable(s, func(i, j int) bool { return s[i] < s[j] })
+}

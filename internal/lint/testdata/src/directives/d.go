@@ -1,0 +1,16 @@
+// Package directives is the waiver-hygiene fixture; the expected findings
+// are listed in TestDirectivesAudit (a want comment here would become the
+// waiver's justification text).
+package directives
+
+//tessel:waive:nosuch believed unnecessary here
+var A = 1
+
+//tessel:waive:determinism
+var B = 2
+
+//tessel:frobnicate
+var C = 3
+
+//tessel:waive:ctxflow a justified example waiver
+var D = 4

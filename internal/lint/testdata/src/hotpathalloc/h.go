@@ -1,0 +1,107 @@
+// Package hotpathalloc is the hotpathalloc analyzer's fixture: each
+// allocating construct flagged inside a //tessel:noalloc function, plus
+// the allowed pooled-buffer idioms and unmarked/waived negatives.
+package hotpathalloc
+
+import "fmt"
+
+type buf struct {
+	ints []int
+}
+
+// grow is the pooled growth path: the make under the cap guard is the
+// amortized one-time allocation and is allowed.
+//
+//tessel:noalloc
+func (b *buf) grow(n int) {
+	if cap(b.ints) < n {
+		b.ints = make([]int, 0, n)
+	}
+	b.ints = b.ints[:0]
+}
+
+// push is the self-append idiom: writing back to the slice it extends.
+//
+//tessel:noalloc
+func (b *buf) push(v int) {
+	b.ints = append(b.ints, v)
+}
+
+// reset re-slices to zero length before appending: still self-append.
+//
+//tessel:noalloc
+func (b *buf) reset() {
+	b.ints = append(b.ints[:0], 0)
+}
+
+//tessel:noalloc
+func bad(n int) int {
+	m := map[int]int{n: n} // want "map literal"
+	s := []int{n}          // want "slice literal"
+	u := make([]int, n)    // want "make in"
+	p := new(int)          // want "new in"
+	fmt.Println(n)         // want "fmt call"
+	return len(m) + len(s) + len(u) + *p
+}
+
+//tessel:noalloc
+func freshAppend(src []int) []int {
+	out := append(src, 1) // want "escapes a fresh slice"
+	return out
+}
+
+//tessel:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//tessel:noalloc
+func closes(n int) func() int {
+	f := func() int { return n } // want "closure literal"
+	return f
+}
+
+func helper(ch chan int) { ch <- 1 }
+
+//tessel:noalloc
+func spawn(ch chan int) {
+	go helper(ch) // want "go statement"
+}
+
+//tessel:noalloc
+func box(v int) any {
+	return any(v) // want "conversion to interface"
+}
+
+func sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+//tessel:noalloc
+func boxArg(v int) int {
+	return sink(v) // want "boxing it"
+}
+
+func sinkVariadic(vs ...any) int { return len(vs) }
+
+// forward passes an existing slice through a variadic call: no boxing.
+//
+//tessel:noalloc
+func forward(args []any) int {
+	return sinkVariadic(args...)
+}
+
+//tessel:noalloc
+func waived(n int) []int {
+	//tessel:waive:hotpathalloc one-time setup measured allocation-free in steady state
+	return make([]int, n)
+}
+
+// unmarked is not annotated, so its allocations are not the analyzer's
+// business.
+func unmarked(n int) []int {
+	return make([]int, n)
+}

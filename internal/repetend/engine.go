@@ -323,6 +323,8 @@ func (e *periodEngine) workLowerBound() int { return e.lower }
 // every ordered pair (v, u) of distinct stages sharing a device,
 // s_u ≥ s_v + t_v − P, deduplicated across devices. Built once per bind,
 // only when a bounded solve consults the relaxation.
+//
+//tessel:noalloc
 func (e *periodEngine) buildWindow() {
 	if e.winBuilt {
 		return
@@ -352,6 +354,7 @@ func (e *periodEngine) buildWindow() {
 
 // --- SPFA core -----------------------------------------------------------
 
+//tessel:noalloc
 func (e *periodEngine) push(u int) {
 	e.qbuf[e.qtail] = u
 	e.qtail++
@@ -361,6 +364,7 @@ func (e *periodEngine) push(u int) {
 	e.qlen++
 }
 
+//tessel:noalloc
 func (e *periodEngine) pop() int {
 	u := e.qbuf[e.qhead]
 	e.qhead++
@@ -374,6 +378,8 @@ func (e *periodEngine) pop() int {
 // relax applies one difference constraint s_v ≥ s_u + w. It reports false
 // when the relaxation chain through v reaches k edges — a repeated stage on
 // a strictly improving chain, i.e. a positive cycle: no period-P solution.
+//
+//tessel:noalloc
 func (e *periodEngine) relax(u, v, w int) bool {
 	d := e.dist[u] + w
 	if d <= e.dist[v] {
@@ -395,6 +401,8 @@ func (e *periodEngine) relax(u, v, w int) bool {
 // seedCold resets dist to the all-zero vector and enqueues every stage —
 // the from-scratch start whose least fixpoint is the canonical minimal
 // start-time vector.
+//
+//tessel:noalloc
 func (e *periodEngine) seedCold() {
 	for i := 0; i < e.k; i++ {
 		e.dist[i] = 0
@@ -422,6 +430,8 @@ func (e *periodEngine) seedCold() {
 // non-positive weight, so a positive cycle among seeded edges alone cannot
 // exist and this cannot fire; the propagation guards the invariant rather
 // than relying on it non-locally.)
+//
+//tessel:noalloc
 func (e *periodEngine) seedWarm(period int) bool {
 	copy(e.dist, e.feasDist)
 	for i := 0; i < e.k; i++ {
@@ -456,6 +466,8 @@ func (e *periodEngine) seedWarm(period int) bool {
 // the device-window edges (window mode, the order-independent relaxation)
 // or the execution-order edges implied by the engine's current order
 // buffers (orders mode). It reports false on a positive cycle.
+//
+//tessel:noalloc
 func (e *periodEngine) run(period int, window, orders bool) bool {
 	e.probes++
 	for e.qlen > 0 {
@@ -500,6 +512,8 @@ func (e *periodEngine) run(period int, window, orders bool) bool {
 // saveFeas records dist as the warm-start base by swapping the dist and
 // feasDist buffers (the stale contents of the other buffer are fully
 // overwritten by the next seed).
+//
+//tessel:noalloc
 func (e *periodEngine) saveFeas() {
 	e.dist, e.feasDist = e.feasDist, e.dist
 }
@@ -510,6 +524,8 @@ func (e *periodEngine) saveFeas() {
 // per-order system contains a superset of these constraints and
 // feasibility is monotone in P, so a false result proves min period > P
 // for all per-device orders — without touching the solver.
+//
+//tessel:noalloc
 func (e *periodEngine) relaxedFeasible(period int) bool {
 	e.buildWindow()
 	e.seedCold()
@@ -523,6 +539,8 @@ func (e *periodEngine) relaxedFeasible(period int) bool {
 // orders a pure function of the start vector for arbitrary inputs). It
 // also computes the per-device prefix-memory sums the local search's delta
 // checks maintain. Mirrors ordersFromStarts.
+//
+//tessel:noalloc
 func (e *periodEngine) setOrdersFromStarts(starts []int) {
 	for x := range e.ordPos {
 		e.ordPos[x] = -1
@@ -570,6 +588,8 @@ func (e *periodEngine) setOrdersFromStarts(starts []int) {
 // last feasible fixpoint. Bounded calls probe their ceiling first (one
 // cold probe decides the common pruned case); unbounded calls try the
 // device-work lower bound first (the common case near convergence).
+//
+//tessel:noalloc
 func (e *periodEngine) minPeriod(bound int) (int, periodStatus) {
 	lo := e.lower
 	if bound > 0 && lo > bound {
@@ -632,6 +652,8 @@ func (e *periodEngine) minPeriod(bound int) (int, periodStatus) {
 
 // appendStarts appends the normalized (minimum 0) start vector of the last
 // feasible probe to dst[:0] and returns it.
+//
+//tessel:noalloc
 func (e *periodEngine) appendStarts(dst []int) []int {
 	dst = append(dst[:0], e.feasDist[:e.k]...)
 	normalize(dst)
@@ -643,6 +665,8 @@ func (e *periodEngine) appendStarts(dst []int) []int {
 // non-adjacently somewhere (the swap is undefined there). On success the
 // affected prefix-memory entries are updated; calling applySwap(u, v)
 // again undoes the swap exactly.
+//
+//tessel:noalloc
 func (e *periodEngine) applySwap(u, v int) bool {
 	for _, dd := range e.p.Stages[u].Devices {
 		d := int(dd)
@@ -685,6 +709,8 @@ func (e *periodEngine) applySwap(u, v int) bool {
 // orders come from a memory-respecting instance schedule and every
 // accepted swap re-established the check), so only the single changed
 // prefix per shared device needs testing.
+//
+//tessel:noalloc
 func (e *periodEngine) swapMemoryOK(u, v int) bool {
 	if e.mem == sched.Unbounded {
 		return true
@@ -723,6 +749,8 @@ func (e *periodEngine) swapMemoryOK(u, v int) bool {
 // shared sweep incumbent), so the result is a pure function of the
 // assignment — a requirement for worker-count-independent sweeps. On
 // return bestStarts holds the incumbent's normalized start vector.
+//
+//tessel:noalloc
 func (e *periodEngine) localSearch(ctx context.Context, period int) int {
 	lower := e.lower
 	maxPasses := e.k * e.k

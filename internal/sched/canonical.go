@@ -70,6 +70,7 @@ func (s *Schedule) AppendCanonical(b []byte) []byte {
 	for i := range idx {
 		idx[i] = i
 	}
+	//tessel:totalorder (Start, Stage, Micro) is unique per item, so every tie is broken
 	sort.Slice(idx, func(x, y int) bool {
 		a, c := s.Items[idx[x]], s.Items[idx[y]]
 		if a.Start != c.Start {

@@ -52,6 +52,7 @@ func (s *Schedule) Len() int { return len(s.Items) }
 
 // Sort orders items by (Start, Stage, Micro) for deterministic iteration.
 func (s *Schedule) Sort() {
+	//tessel:totalorder (Start, Stage, Micro) is unique per item, so every tie is broken
 	sort.Slice(s.Items, func(i, j int) bool {
 		a, b := s.Items[i], s.Items[j]
 		if a.Start != b.Start {
@@ -137,6 +138,7 @@ func (s *Schedule) deviceItems() [][]Item {
 	}
 	for d := range per {
 		items := per[d]
+		//tessel:totalorder (Start, Stage, Micro) is unique per item, so every tie is broken
 		sort.Slice(items, func(i, j int) bool {
 			if items[i].Start != items[j].Start {
 				return items[i].Start < items[j].Start
@@ -334,6 +336,7 @@ func (s *Schedule) Micros() []int {
 		seen[it.Micro] = true
 	}
 	out := make([]int, 0, len(seen))
+	//tessel:orderfree keys are collected then sorted before returning
 	for n := range seen {
 		out = append(out, n)
 	}

@@ -18,6 +18,7 @@ func BuildTasks(p *sched.Placement, blocks []sched.Block, releases map[sched.Blo
 		return nil, fmt.Errorf("nil placement")
 	}
 	sorted := append([]sched.Block(nil), blocks...)
+	//tessel:totalorder (Micro, Stage) is unique per block (duplicates are rejected below)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Micro != sorted[j].Micro {
 			return sorted[i].Micro < sorted[j].Micro

@@ -169,6 +169,8 @@ type pJob struct {
 // candStart computes the earliest feasible start of frontier task t in the
 // current state — the same formula the candidate collector uses — so a
 // worker can re-derive a prefix candidate from its task id alone.
+//
+//tessel:noalloc
 func (s *searcher) candStart(t int) int {
 	st := s.release[t]
 	for _, dev := range s.devList[s.devOff[t]:s.devOff[t+1]] {
@@ -186,6 +188,8 @@ func (s *searcher) candStart(t int) int {
 
 // memFeasible reports whether starting t now respects every device's
 // memory capacity.
+//
+//tessel:noalloc
 func (s *searcher) memFeasible(t int) bool {
 	for _, dev := range s.devList[s.devOff[t]:s.devOff[t+1]] {
 		if s.devMem[dev]+s.mem[t] > s.opts.Memory {

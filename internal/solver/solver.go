@@ -697,6 +697,7 @@ func (s *searcher) reset(ctx context.Context, tasks []Task, opts Options) error 
 	s.boundCut = false
 	s.truncated = false
 	s.cancelled = false
+	//tessel:waive:determinism wall-clock anchors the optional search budget; it only decides truncation, which is reported via Truncated
 	s.startTime = time.Now()
 	s.hasWallDL = false
 	if opts.Timeout > 0 {
@@ -739,6 +740,8 @@ func (s *searcher) run() {
 // UpperBound-seeded incumbent before any real schedule was found.
 // Rejections against a *found* incumbent are regular optimality pruning,
 // not bound cuts.
+//
+//tessel:noalloc
 func (s *searcher) cutByBound(lb int) bool {
 	if lb > s.deadline || (!s.bestSet && lb >= s.best.Makespan) {
 		s.boundCut = true
@@ -754,6 +757,8 @@ func (s *searcher) cutByBound(lb int) bool {
 // published makespan survive and every job still finds its first
 // optimal-makespan schedule in DFS order (the determinism of the merged
 // Starts vector rests on this).
+//
+//tessel:noalloc
 func (s *searcher) cutoff(lb int) bool {
 	if lb >= s.best.Makespan {
 		return true
@@ -761,6 +766,7 @@ func (s *searcher) cutoff(lb int) bool {
 	return s.shared != nil && int64(lb) > s.shared.best.Load()
 }
 
+//tessel:noalloc
 func (s *searcher) record(starts []int, makespan int) {
 	s.best.Feasible = true
 	s.best.Makespan = makespan
@@ -780,6 +786,8 @@ func (s *searcher) record(starts []int, makespan int) {
 // a frontier (like the search's), so each pick scans the eligible tasks
 // instead of rescanning all n — the dispatch is O(n·frontier), not O(n²).
 // All working state lives in searcher scratch buffers.
+//
+//tessel:noalloc
 func (s *searcher) greedy() ([]int, int, bool) {
 	n := s.n
 	s.gSched = boolsN(s.gSched, n)
@@ -879,6 +887,7 @@ func (s *searcher) greedy() ([]int, int, bool) {
 	return s.gStarts, makespan, true
 }
 
+//tessel:noalloc
 func (s *searcher) outOfBudget() bool {
 	if s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes {
 		return true
@@ -890,6 +899,7 @@ func (s *searcher) outOfBudget() bool {
 			return true
 		default:
 		}
+		//tessel:waive:determinism wall-clock deadline check of the optional search budget; it only decides truncation, reported via Truncated
 		if s.hasWallDL && time.Now().After(s.deadlineT) {
 			return true
 		}
@@ -903,6 +913,8 @@ func (s *searcher) outOfBudget() bool {
 // the incrementally maintained unscheduled list, so its cost shrinks with
 // search depth. The array hoisting matters: this is the hottest loop of
 // the search.
+//
+//tessel:noalloc
 func (s *searcher) pathBound() int {
 	topo, topoNext := s.topo, s.topoNext
 	devOff, devList := s.devOff, s.devList
@@ -944,6 +956,8 @@ func (s *searcher) pathBound() int {
 // availability plus finish times of scheduled tasks that still have
 // successors (walked via the scheduled-set bitmask). Componentwise-≤ states
 // dominate.
+//
+//tessel:noalloc
 func (s *searcher) fillStateVector(dst []uint64) []uint64 {
 	dst = dst[:0]
 	cur := uint64(0)
@@ -981,6 +995,8 @@ func (s *searcher) fillStateVector(dst []uint64) []uint64 {
 // sketchAndSum derives the memo pre-filter values from the incrementally
 // maintained buckets: the total component sum and the 8-lane quantized
 // sketch.
+//
+//tessel:noalloc
 func (s *searcher) sketchAndSum() (uint64, int64) {
 	sum := int64(0)
 	sketch := uint64(0)
@@ -1021,11 +1037,13 @@ func (s *searcher) setSketchScale() {
 
 // --- frontier maintenance --------------------------------------------------
 
+//tessel:noalloc
 func (s *searcher) frontPush(t int) {
 	s.frontPos[t] = int32(len(s.frontier))
 	s.frontier = append(s.frontier, int32(t))
 }
 
+//tessel:noalloc
 func (s *searcher) frontRemove(t int) {
 	i := s.frontPos[t]
 	last := int32(len(s.frontier) - 1)
@@ -1039,6 +1057,8 @@ func (s *searcher) frontRemove(t int) {
 // frontSync makes task t's frontier membership match its eligibility. It is
 // idempotent, so apply/undo can call it for every task whose eligibility
 // inputs (predLeft, symmetry predecessor) they touched.
+//
+//tessel:noalloc
 func (s *searcher) frontSync(t int) {
 	eligible := !s.sched[t] && s.predLeft[t] == 0 &&
 		(s.symPred[t] < 0 || s.sched[s.symPred[t]])
@@ -1057,6 +1077,8 @@ func (s *searcher) frontSync(t int) {
 // bounds, dominance memo, critical-path bound — exactly once per expanded
 // node and reports whether the node is pruned. Shared between dfs and the
 // parallel prefix expansion so both search the identical tree.
+//
+//tessel:noalloc
 func (s *searcher) prunedOrMemo() bool {
 	// Lower bounds, cheapest first: device loads, the running max of
 	// finish+tail over scheduled tasks (dominated by pathBound), and the
@@ -1122,6 +1144,8 @@ func (s *searcher) prunedOrMemo() bool {
 // maintained frontier into the depth's reusable buffer, insertion-sorting
 // as it goes: smallest start first, then longest tail, then task index — a
 // total order, so the expansion order is independent of frontier layout.
+//
+//tessel:noalloc
 func (s *searcher) collectCandidates() []candidate {
 	fr := &s.frames[s.nSched]
 	cands := fr.cands[:0]
@@ -1176,6 +1200,7 @@ func (s *searcher) collectCandidates() []candidate {
 	return cands
 }
 
+//tessel:noalloc
 func (s *searcher) dfs() {
 	s.nodes++
 	if s.outOfBudget() {
@@ -1217,6 +1242,7 @@ func (s *searcher) dfs() {
 	}
 }
 
+//tessel:noalloc
 func (s *searcher) apply(c candidate) {
 	t := c.task
 	s.frontRemove(t)
@@ -1266,6 +1292,7 @@ func (s *searcher) apply(c candidate) {
 	s.nSched++
 }
 
+//tessel:noalloc
 func (s *searcher) undo(c candidate, savedAvail []int, savedMakespan, savedMaxTail int) {
 	t := c.task
 	s.nSched--
