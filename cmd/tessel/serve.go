@@ -21,6 +21,14 @@ package main
 // Every response carries the placement fingerprint and whether the request
 // hit the cache or shared an in-flight search. GET /v1/stats reports the
 // engine counters; SIGINT/SIGTERM drain in-flight requests gracefully.
+//
+// The serving tier is resilient by default: cold searches pass through
+// admission control (-max-concurrent-searches, -max-queued-searches,
+// -queue-wait, -tenant-rate) and refused requests get 429 with Retry-After
+// — or a node-capped best-effort answer when they set allow_degraded; the
+// repetend cache snapshots to -snapshot on SIGTERM and every
+// -snapshot-interval, and restores at boot (readiness gated by /readyz), so
+// a restart keeps previously-solved fingerprints warm.
 
 import (
 	"bytes"
@@ -33,6 +41,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -52,6 +62,9 @@ const DefaultMaxN = 4096
 type searchRequest struct {
 	Placement json.RawMessage      `json:"placement"`
 	Options   searchRequestOptions `json:"options"`
+	// Tenant attributes the request to a per-tenant admission budget
+	// (-tenant-rate); empty is a valid (shared) tenant.
+	Tenant string `json:"tenant"`
 }
 
 type searchRequestOptions struct {
@@ -68,21 +81,28 @@ type searchRequestOptions struct {
 	DisableLazy        bool `json:"disable_lazy"`
 	SimpleCompaction   bool `json:"simple_compaction"`
 	DisableLocalSearch bool `json:"disable_local_search"`
+	// AllowDegraded opts in to a node-capped best-effort search when
+	// admission control would otherwise shed the request with 429. The
+	// response marks such results with "degraded": true.
+	AllowDegraded bool `json:"allow_degraded"`
 }
 
 type searchResponse struct {
-	Fingerprint string          `json:"fingerprint"`
-	CacheHit    bool            `json:"cache_hit"`
-	Shared      bool            `json:"shared"`
-	N           int             `json:"n"`
-	Makespan    int             `json:"makespan"`
-	LowerBound  int             `json:"lower_bound"`
-	Period      int             `json:"period"`
-	NR          int             `json:"nr"`
-	Assignment  []int           `json:"assignment"`
-	BubbleRate  float64         `json:"bubble_rate"`
-	Stats       searchStatsJSON `json:"stats"`
-	Schedule    json.RawMessage `json:"schedule"`
+	Fingerprint string `json:"fingerprint"`
+	CacheHit    bool   `json:"cache_hit"`
+	Shared      bool   `json:"shared"`
+	// Degraded marks a best-effort result from a node-capped search under
+	// overload — valid, but not proven optimal and never cached.
+	Degraded   bool            `json:"degraded"`
+	N          int             `json:"n"`
+	Makespan   int             `json:"makespan"`
+	LowerBound int             `json:"lower_bound"`
+	Period     int             `json:"period"`
+	NR         int             `json:"nr"`
+	Assignment []int           `json:"assignment"`
+	BubbleRate float64         `json:"bubble_rate"`
+	Stats      searchStatsJSON `json:"stats"`
+	Schedule   json.RawMessage `json:"schedule"`
 }
 
 type searchStatsJSON struct {
@@ -129,6 +149,11 @@ type server struct {
 	solverTimeout time.Duration // default per-solve budget
 	maxN          int           // cap on requested micro-batches
 	solverWorkers int           // default per-solve worker count (0 = auto)
+	snapshotPath  string        // cache snapshot file ("" = persistence off)
+	// ready flips once the boot-time snapshot restore has finished (or
+	// immediately when persistence is off); /readyz reports 503 until then
+	// so load balancers don't route to a cold replica.
+	ready atomic.Bool
 }
 
 // runServe is the entry point of `tessel serve`.
@@ -141,6 +166,13 @@ func runServe(args []string) {
 		solverTimeout = fs.Duration("solver-timeout", 10*time.Second, "default per-solve budget when the request sets none")
 		maxN          = fs.Int("max-n", DefaultMaxN, "largest micro-batch count a request may ask for")
 		maxSearches   = fs.Int("max-concurrent-searches", 2, "cold searches running at once (each saturates the CPU; 0 = unlimited)")
+		maxQueued     = fs.Int("max-queued-searches", 64, "cold searches that may wait for a slot (0 = unlimited, negative = none)")
+		queueWait     = fs.Duration("queue-wait", 5*time.Second, "longest a queued cold search waits before 429 (0 = until the request deadline)")
+		tenantRate    = fs.Float64("tenant-rate", 0, "per-tenant cold searches per second (0 = no tenant budgets)")
+		tenantBurst   = fs.Int("tenant-burst", 4, "per-tenant cold-search burst capacity")
+		degradedNodes = fs.Int64("degraded-solver-nodes", 0, "per-solve node cap of allow_degraded searches (0 = default)")
+		snapshotPath  = fs.String("snapshot", "", "cache snapshot file, restored at boot and written on SIGTERM and periodically (\"\" = off)")
+		snapshotEvery = fs.Duration("snapshot-interval", 5*time.Minute, "period between cache snapshots when -snapshot is set")
 		solverWorkers = fs.Int("solver-workers", 0, "default per-solve branch-and-bound workers when the request sets none (0 = auto)")
 	)
 	fs.Parse(args)
@@ -152,11 +184,17 @@ func runServe(args []string) {
 		engine: tessel.NewEngine(tessel.EngineOptions{
 			CacheSize:             *cacheSize,
 			MaxConcurrentSearches: *maxSearches,
+			MaxQueuedSearches:     *maxQueued,
+			QueueWait:             *queueWait,
+			TenantRate:            *tenantRate,
+			TenantBurst:           *tenantBurst,
+			DegradedSolverNodes:   *degradedNodes,
 		}),
 		searchTimeout: *searchTimeout,
 		solverTimeout: *solverTimeout,
 		maxN:          *maxN,
 		solverWorkers: *solverWorkers,
+		snapshotPath:  *snapshotPath,
 	}
 
 	srv := &http.Server{
@@ -171,6 +209,37 @@ func runServe(args []string) {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Restore the cache in the background so the listener binds immediately;
+	// /readyz keeps the replica out of rotation until the restore finishes.
+	// LoadSnapshot never fails the boot: a missing file is a first start and
+	// a torn or stale snapshot degrades to a cold one with a logged warning.
+	if s.snapshotPath == "" {
+		s.ready.Store(true)
+	} else {
+		go func() {
+			if n := s.engine.LoadSnapshot(s.snapshotPath); n > 0 {
+				log.Printf("tessel serve: restored %d cached searches from %s", n, s.snapshotPath)
+			}
+			s.ready.Store(true)
+		}()
+		if *snapshotEvery > 0 {
+			go func() {
+				ticker := time.NewTicker(*snapshotEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-ticker.C:
+						if err := s.engine.SaveSnapshot(s.snapshotPath); err != nil {
+							log.Printf("tessel serve: snapshot: %v", err)
+						}
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -196,6 +265,15 @@ func runServe(args []string) {
 			log.Printf("tessel serve: shutdown: %v", err)
 		}
 		<-errCh
+		// Final snapshot after the drain, so the file captures every search
+		// that completed before the process exits.
+		if s.snapshotPath != "" {
+			if err := s.engine.SaveSnapshot(s.snapshotPath); err != nil {
+				log.Printf("tessel serve: final snapshot: %v", err)
+			} else {
+				log.Printf("tessel serve: cache snapshot written to %s", s.snapshotPath)
+			}
+		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("tessel serve: %v", err)
@@ -212,6 +290,19 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+	// /readyz is liveness plus warmth: it reports 503 until the boot-time
+	// snapshot restore has finished, so load balancers keep traffic off a
+	// replica that would serve everything cold. /healthz stays 200 the whole
+	// time — the process is alive, just not preferred.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "restoring cache snapshot")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
 	})
 	return mux
 }
@@ -271,17 +362,28 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
 		defer cancel()
 	}
-	res, info, err := s.engine.Search(ctx, p, opts)
+	res, info, err := s.engine.Serve(ctx, tessel.SearchRequest{
+		Placement:     p,
+		Options:       opts,
+		Tenant:        req.Tenant,
+		AllowDegraded: req.Options.AllowDegraded,
+	})
 	if err != nil {
 		switch {
+		case errors.Is(err, tessel.ErrOverloaded):
+			// Shed load: tell the client when to come back. The engine's
+			// OverloadError carries a reason-sized hint (tenant refill time
+			// or the queue-wait cap).
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(err)))
+			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "search deadline exceeded")
 		case errors.Is(err, context.Canceled):
 			// Client went away; nothing useful to write.
 			writeError(w, http.StatusServiceUnavailable, "search cancelled")
-		case errors.Is(err, tessel.ErrSearchPanic):
-			// Server bug: log the details, return a generic 500.
-			log.Printf("tessel serve: %v", err)
+		case errors.Is(err, tessel.ErrInternal):
+			// Server bug (recovered panic): the engine already logged the
+			// fingerprint and recovered value once; return a generic 500.
 			writeError(w, http.StatusInternalServerError, "internal search failure")
 		case errors.Is(err, tessel.ErrInvalidRequest):
 			// The request itself is malformed (e.g. a negative micro-batch
@@ -304,6 +406,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: info.Fingerprint,
 		CacheHit:    info.Hit,
 		Shared:      info.Shared,
+		Degraded:    info.Degraded,
 		N:           res.N,
 		Makespan:    res.Makespan,
 		LowerBound:  res.LowerBound,
@@ -338,23 +441,69 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// serveStatsJSON is the wire form of /v1/stats: every engine counter
+// (tessel-lint's counterparity analyzer enforces the engine.Stats →
+// serveStatsJSON mapping) plus the server's worker configuration and
+// readiness.
+type serveStatsJSON struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Shared    uint64 `json:"shared"`
+	Evictions uint64 `json:"evictions"`
+	// Admitted / Queued / Shed / Degraded are the admission-control
+	// counters: cold searches admitted (Queued of them after a wait),
+	// requests refused with 429, and requests served best-effort.
+	Admitted uint64 `json:"admitted"`
+	Queued   uint64 `json:"queued"`
+	Shed     uint64 `json:"shed"`
+	Degraded uint64 `json:"degraded"`
+	// Restored counts cache entries loaded from the boot snapshot.
+	Restored uint64 `json:"restored"`
+	Entries  int    `json:"entries"`
+	// Ready mirrors /readyz: false until the snapshot restore finished.
+	Ready bool `json:"ready"`
+	// SolverWorkers is the configured per-solve worker default;
+	// SolverWorkersEffective is what it resolves to for a parallel-eligible
+	// solve on this machine (0 = serial).
+	SolverWorkers          int `json:"solver_workers"`
+	SolverWorkersEffective int `json:"solver_workers_effective"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	st := s.engine.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"hits":      st.Hits,
-		"misses":    st.Misses,
-		"shared":    st.Shared,
-		"evictions": st.Evictions,
-		"entries":   st.Entries,
-		// The configured per-solve worker default and what it resolves to
-		// for a parallel-eligible solve on this machine (0 = serial).
-		"solver_workers":           s.solverWorkers,
-		"solver_workers_effective": tessel.ResolveSolverWorkers(s.solverWorkers, tessel.ParallelSolveTaskThreshold),
+	writeJSON(w, http.StatusOK, serveStatsJSON{
+		Hits:                   st.Hits,
+		Misses:                 st.Misses,
+		Shared:                 st.Shared,
+		Evictions:              st.Evictions,
+		Admitted:               st.Admitted,
+		Queued:                 st.Queued,
+		Shed:                   st.Shed,
+		Degraded:               st.Degraded,
+		Restored:               st.Restored,
+		Entries:                st.Entries,
+		Ready:                  s.ready.Load(),
+		SolverWorkers:          s.solverWorkers,
+		SolverWorkersEffective: tessel.ResolveSolverWorkers(s.solverWorkers, tessel.ParallelSolveTaskThreshold),
 	})
+}
+
+// retryAfterSeconds converts an overload error's back-off hint to whole
+// seconds for the Retry-After header, rounding up with a floor of 1.
+func retryAfterSeconds(err error) int {
+	var oe *tessel.OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		secs := int((oe.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs
+	}
+	return 1
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -117,12 +120,20 @@ func TestServeSearchEndToEnd(t *testing.T) {
 	req := httptest.NewRequest("GET", "/v1/stats", nil)
 	rec := httptest.NewRecorder()
 	s.mux().ServeHTTP(rec, req)
-	var st map[string]float64
+	var st struct {
+		Hits     uint64 `json:"hits"`
+		Misses   uint64 `json:"misses"`
+		Admitted uint64 `json:"admitted"`
+		Ready    bool   `json:"ready"`
+	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st["misses"] != 1 || st["hits"] != 1 {
-		t.Fatalf("stats: %v", st)
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Admitted != 1 {
+		t.Fatalf("admitted = %d, want 1 (the one cold search)", st.Admitted)
 	}
 }
 
@@ -296,5 +307,170 @@ func TestServeMaxNCap(t *testing.T) {
 	}
 	if !strings.Contains(w.Body.String(), "exceeds the server cap") {
 		t.Fatalf("error does not name the cap: %s", w.Body.String())
+	}
+}
+
+// chainJSON builds a minimal 2-device 1F1B chain placement whose forward
+// time f gives every value a distinct fingerprint — the cheap way to mint
+// distinct cold requests for admission tests.
+func chainJSON(f int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"name":"chain-%d","num_devices":2,"stages":[`+
+		`{"name":"f0","time":%d,"mem":1,"devices":[0]},`+
+		`{"name":"f1","time":1,"mem":1,"devices":[1]},`+
+		`{"name":"b1","kind":"backward","time":2,"mem":-1,"devices":[1]},`+
+		`{"name":"b0","kind":"backward","time":2,"mem":-1,"devices":[0]}],`+
+		`"deps":[[1],[2],[3],[]]}`, f, f))
+}
+
+// TestServeReadyz: /readyz gates on the snapshot restore while /healthz
+// only reports liveness — a booting replica is alive but not ready.
+func TestServeReadyz(t *testing.T) {
+	s := newTestServer(t)
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.mux().ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w
+	}
+	if w := get("/healthz"); w.Code != 200 {
+		t.Fatalf("/healthz during boot: %d", w.Code)
+	}
+	if w := get("/readyz"); w.Code != 503 || !strings.Contains(w.Body.String(), "restoring") {
+		t.Fatalf("/readyz during boot: %d %q", w.Code, w.Body.String())
+	}
+	s.ready.Store(true)
+	if w := get("/readyz"); w.Code != 200 || !strings.Contains(w.Body.String(), "ready") {
+		t.Fatalf("/readyz after restore: %d %q", w.Code, w.Body.String())
+	}
+}
+
+// TestServeOverloadAndDegraded exhausts a tenant's admission budget: the
+// first cold search is admitted, the second is shed with 429 and a
+// Retry-After header, and a third that set allow_degraded gets a 200
+// flagged "degraded" instead of the refusal.
+func TestServeOverloadAndDegraded(t *testing.T) {
+	s := &server{
+		// Burst 1 and a near-zero refill rate: one cold search per tenant,
+		// deterministically.
+		engine:        tessel.NewEngine(tessel.EngineOptions{TenantRate: 1e-9, TenantBurst: 1}),
+		searchTimeout: 30 * time.Second,
+		solverTimeout: 5 * time.Second,
+		maxN:          DefaultMaxN,
+	}
+	post := func(placement json.RawMessage, degraded bool) *httptest.ResponseRecorder {
+		t.Helper()
+		body, err := json.Marshal(map[string]any{
+			"placement": placement,
+			"options":   map[string]any{"n": 6, "allow_degraded": degraded},
+			"tenant":    "acme",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return postSearch(t, s, string(body))
+	}
+
+	if w := post(chainJSON(1), false); w.Code != 200 {
+		t.Fatalf("first cold search: %d %s", w.Code, w.Body.String())
+	}
+
+	w := post(chainJSON(2), false)
+	if w.Code != 429 {
+		t.Fatalf("over-budget search: %d %s", w.Code, w.Body.String())
+	}
+	retry, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After %q not a positive second count: %v", w.Header().Get("Retry-After"), err)
+	}
+
+	w = post(chainJSON(3), true)
+	if w.Code != 200 {
+		t.Fatalf("degraded search: %d %s", w.Code, w.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatal("over-budget allow_degraded response not flagged degraded")
+	}
+	if resp.Makespan <= 0 {
+		t.Fatalf("degraded response unusable: %+v", resp)
+	}
+
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	var st struct {
+		Admitted uint64 `json:"admitted"`
+		Shed     uint64 `json:"shed"`
+		Degraded uint64 `json:"degraded"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 1 || st.Shed != 1 || st.Degraded != 1 {
+		t.Fatalf("stats admitted=%d shed=%d degraded=%d, want 1/1/1", st.Admitted, st.Shed, st.Degraded)
+	}
+}
+
+// TestServeSnapshotRestartToWarm drives the restart story end to end at the
+// HTTP layer: a search served by one server, snapshotted, restored into a
+// second server, is a cache hit there with the identical fingerprint and
+// makespan, and /v1/stats reports the restore.
+func TestServeSnapshotRestartToWarm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	body, err := json.Marshal(map[string]any{
+		"placement": chainJSON(7),
+		"options":   map[string]any{"n": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := newTestServer(t)
+	w := postSearch(t, s1, string(body))
+	if w.Code != 200 {
+		t.Fatalf("cold search: %d %s", w.Code, w.Body.String())
+	}
+	var cold searchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.engine.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t)
+	s2.snapshotPath = path
+	if n := s2.engine.LoadSnapshot(path); n != 1 {
+		t.Fatalf("restored %d entries, want 1", n)
+	}
+	s2.ready.Store(true)
+	w = postSearch(t, s2, string(body))
+	if w.Code != 200 {
+		t.Fatalf("post-restart search: %d %s", w.Code, w.Body.String())
+	}
+	var warm searchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("post-restart search missed the restored cache")
+	}
+	if warm.Fingerprint != cold.Fingerprint || warm.Makespan != cold.Makespan {
+		t.Fatalf("restored result drifted: %+v vs %+v", warm, cold)
+	}
+
+	rec := httptest.NewRecorder()
+	s2.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	var st struct {
+		Restored uint64 `json:"restored"`
+		Misses   uint64 `json:"misses"`
+		Ready    bool   `json:"ready"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 1 || st.Misses != 0 || !st.Ready {
+		t.Fatalf("stats after restart: %+v", st)
 	}
 }

@@ -368,6 +368,24 @@ type solveOutcome struct {
 	seq   int
 	r     *repetend.Repetend
 	bound int // incumbent snapshot the solve pruned against
+	// panicked carries a panic recovered inside the worker's solve: recover
+	// only works on the panicking goroutine, so the worker contains the
+	// crash and the collector re-raises it on the Search goroutine, where
+	// the engine's structured-error recovery can convert it.
+	panicked any
+}
+
+// solveAssignment runs one assignment solve with panic containment. A panic
+// inside the solve (injected by faultpoint or a real bug) is returned as
+// panicked instead of unwinding the sweep-worker goroutine.
+func solveAssignment(ctx context.Context, p *sched.Placement, a repetend.Assignment, ro repetend.SolveOptions) (r *repetend.Repetend, err error, panicked any) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			r, err, panicked = nil, nil, pv
+		}
+	}()
+	r, err = repetend.Solve(ctx, p, a, ro)
+	return r, err, nil
 }
 
 // sweepNR enumerates and evaluates every canonical assignment for one
@@ -454,8 +472,13 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 				ro.PeriodUpperBound = bound
 				//tessel:waive:determinism wall-clock feeds only the repNanos throughput telemetry, never schedule bytes
 				t0 := time.Now()
-				r, err := repetend.Solve(ctx, p, task.a, ro)
+				r, err, pv := solveAssignment(ctx, p, task.a, ro)
 				repNanos.Add(int64(time.Since(t0)))
+				if pv != nil {
+					stop.Store(true)
+					resultCh <- solveOutcome{seq: task.seq, panicked: pv}
+					continue
+				}
 				if err != nil {
 					// Infeasible, pruned, or cancelled assignment.
 					if errors.Is(err, repetend.ErrPruned) {
@@ -524,17 +547,43 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 			stop.Store(true)
 		}
 	}
-	for out := range resultCh {
-		pending[out.seq] = out
-		for !done {
-			o, ok := pending[next]
-			if !ok {
-				break
+	// The collector body is guarded: judge() runs completion solves on this
+	// goroutine, and a panic mid-loop would otherwise strand workers blocked
+	// on resultCh sends. On either a recovered collector panic or a worker-
+	// contained one, the loop keeps (or resumes) draining until the workers
+	// close resultCh, then re-raises on the Search goroutine.
+	var panicVal any
+	collect := func() {
+		defer func() {
+			if pv := recover(); pv != nil {
+				panicVal = pv
+				stop.Store(true)
 			}
-			delete(pending, next)
-			next++
-			judge(o)
+		}()
+		for out := range resultCh {
+			if out.panicked != nil && panicVal == nil {
+				panicVal = out.panicked
+				done = true
+			}
+			pending[out.seq] = out
+			for !done {
+				o, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				judge(o)
+			}
 		}
+	}
+	collect()
+	if panicVal != nil {
+		for range resultCh {
+			// Release any workers still parked on a send after a collector
+			// panic cut the receive loop short.
+		}
+		panic(panicVal)
 	}
 	res.Stats.Solved += int(solved.Load())
 	res.Stats.Pruned += int(pruned.Load())

@@ -20,6 +20,24 @@
 // pinning one in the cache would turn a transient miss into a permanent
 // error. Sequential retries of an infeasible request therefore re-pay the
 // sweep (bounded by the caller's deadline and MaxConcurrentSearches).
+//
+// # Resilience
+//
+// The engine is built to survive the three serving failure modes:
+//
+//   - Overload: cold searches pass through an admit.Controller — a
+//     concurrency cap, a bounded deadline-aware wait queue, and optional
+//     per-tenant token buckets. Refused requests fail fast with a typed
+//     ErrOverloaded; requests that opted in (Request.AllowDegraded) are
+//     instead served best-effort by a node-capped truncated search, flagged
+//     via CacheInfo.Degraded and never cached.
+//   - Crashes mid-search: a panic anywhere under core.Search surfaces as a
+//     structured *InternalError carrying the placement fingerprint and the
+//     recovered value (logged once here), never as a process exit and never
+//     as a silent failure indistinguishable from an unsatisfiable search.
+//   - Process restarts: the LRU cache snapshots to a versioned, checksummed
+//     file (snapshot.go) and restores at boot, so previously-solved
+//     fingerprints stay cache hits across restarts.
 package engine
 
 import (
@@ -27,9 +45,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
+	"time"
 
+	"tessel/internal/admit"
 	"tessel/internal/core"
+	"tessel/internal/faultpoint"
 	"tessel/internal/sched"
 )
 
@@ -37,10 +59,54 @@ import (
 // is zero.
 const DefaultCacheSize = 128
 
+// DefaultDegradedSolverNodes is the per-solve node cap of a degraded
+// search when Options.DegradedSolverNodes is zero: 1/20 of the solver's
+// default budget — enough for the greedy incumbent plus a shallow
+// improvement pass, small enough that a degraded search costs a bounded
+// sliver of a full one.
+const DefaultDegradedSolverNodes = core.DefaultSolverNodes / 20
+
 // ErrSearchPanic marks a search that failed with a recovered panic — a
 // server bug, not a bad request. Callers exposing the engine over a
 // protocol should map it to an internal-error status, not a client error.
+//
+// Deprecated: panics now surface as *InternalError; errors.Is against
+// either ErrSearchPanic or ErrInternal matches them. New code should use
+// ErrInternal.
 var ErrSearchPanic = errors.New("engine: search panicked")
+
+// ErrInternal marks (by unwrapping) a search that failed from a server-side
+// bug — a recovered panic — rather than from the request or the search
+// space. The concrete error is an *InternalError carrying the fingerprint
+// and recovered value.
+var ErrInternal = errors.New("engine: internal error")
+
+// ErrOverloaded marks (by unwrapping) a request refused by admission
+// control. The concrete error is an *OverloadError carrying the refusal
+// reason and a Retry-After hint.
+var ErrOverloaded = admit.ErrOverloaded
+
+// OverloadError is the typed admission refusal, re-exported so engine
+// callers need not import internal/admit.
+type OverloadError = admit.OverloadError
+
+// InternalError is a search failure caused by a recovered panic. It
+// unwraps (via Is) to both ErrInternal and the legacy ErrSearchPanic.
+type InternalError struct {
+	// Fingerprint identifies the placement whose search panicked.
+	Fingerprint string
+	// Recovered is the value recovered from the panic.
+	Recovered any
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("engine: internal error: search for %s panicked: %v", e.Fingerprint, e.Recovered)
+}
+
+// Is makes errors.Is match both the new and the legacy sentinel.
+func (e *InternalError) Is(target error) bool {
+	return target == ErrInternal || target == ErrSearchPanic
+}
 
 // ErrInvalidRequest marks (by wrapping) a Search error caused by the
 // request itself — an invalid placement or option values — as opposed to a
@@ -59,6 +125,26 @@ type Options struct {
 	// serving deployment should bound them; cache hits and coalesced
 	// followers are never throttled.
 	MaxConcurrentSearches int
+	// MaxQueuedSearches bounds how many cold searches may wait for a slot
+	// beyond the running ones: 0 = unlimited queue (a saturated engine
+	// serializes, the pre-admission behavior), negative = no queue (a
+	// search that cannot start immediately is refused).
+	MaxQueuedSearches int
+	// QueueWait caps how long a queued search waits before it is refused
+	// with ErrOverloaded (0 = wait until the caller's context expires).
+	QueueWait time.Duration
+	// TenantRate is the per-tenant cold-search budget in searches per
+	// second (0 = no tenant budgets). Cache hits and coalesced followers
+	// never draw on a budget.
+	TenantRate float64
+	// TenantBurst is the tenant bucket capacity (≤0 defaults to 1).
+	TenantBurst int
+	// DegradedSolverNodes is the per-solve node cap of degraded searches
+	// (≤0 uses DefaultDegradedSolverNodes).
+	DegradedSolverNodes int64
+	// Logf receives the engine's warnings — recovered panics, skipped
+	// snapshot entries (nil uses log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // Stats is a snapshot of the engine's counters.
@@ -71,6 +157,19 @@ type Stats struct {
 	Shared uint64
 	// Evictions counts cache entries displaced by the LRU policy.
 	Evictions uint64
+	// Admitted counts cold searches admitted past admission control
+	// (including every cold search of an engine with no admission limits).
+	Admitted uint64
+	// Queued counts admitted cold searches that had to wait for a slot.
+	Queued uint64
+	// Shed counts requests refused with ErrOverloaded — leaders refused by
+	// admission control and the followers coalesced onto them.
+	Shed uint64
+	// Degraded counts requests served best-effort by a node-capped
+	// degraded search.
+	Degraded uint64
+	// Restored counts cache entries loaded from a snapshot since boot.
+	Restored uint64
 	// Entries is the current number of cached results.
 	Entries int
 }
@@ -83,13 +182,33 @@ type CacheInfo struct {
 	Hit bool
 	// Shared is true when the call coalesced onto a concurrent search.
 	Shared bool
+	// Degraded is true when the result came from a node-capped best-effort
+	// search under overload rather than a full sweep. Degraded results are
+	// never cached.
+	Degraded bool
+}
+
+// Request is one search request at the serving boundary.
+type Request struct {
+	// Placement is the placement to schedule.
+	Placement *sched.Placement
+	// Options configures the search.
+	Options core.Options
+	// Tenant attributes the request to a per-tenant admission budget
+	// (Options.TenantRate). The empty string is a valid tenant.
+	Tenant string
+	// AllowDegraded opts in to a best-effort node-capped search when
+	// admission control would otherwise refuse the request.
+	AllowDegraded bool
 }
 
 // Engine is a cache-backed, deduplicating front-end over core.Search. The
 // zero value is not usable; construct with New.
 type Engine struct {
-	cap int
-	sem chan struct{} // nil = unlimited cold searches
+	cap           int
+	ctrl          *admit.Controller // nil = no admission limits
+	degradedNodes int64
+	logf          func(format string, args ...any)
 
 	mu        sync.Mutex
 	entries   map[string]*list.Element // values are *cacheEntry
@@ -99,6 +218,11 @@ type Engine struct {
 	misses    uint64
 	shared    uint64
 	evictions uint64
+	admitted  uint64
+	queued    uint64
+	shed      uint64
+	degraded  uint64
+	restored  uint64
 }
 
 // cacheEntry is the value stored in the LRU list.
@@ -112,6 +236,9 @@ type flightCall struct {
 	done chan struct{}
 	res  *core.Result
 	err  error
+	// degraded is true when the leader served a best-effort result; written
+	// before done closes, so followers read it race-free.
+	degraded bool
 }
 
 // New builds an Engine with the given options.
@@ -121,29 +248,57 @@ func New(opts Options) *Engine {
 		size = DefaultCacheSize
 	}
 	e := &Engine{
-		cap:     size,
-		entries: make(map[string]*list.Element),
-		lru:     list.New(),
-		flight:  make(map[string]*flightCall),
+		cap:           size,
+		degradedNodes: opts.DegradedSolverNodes,
+		logf:          opts.Logf,
+		entries:       make(map[string]*list.Element),
+		lru:           list.New(),
+		flight:        make(map[string]*flightCall),
 	}
-	if opts.MaxConcurrentSearches > 0 {
-		e.sem = make(chan struct{}, opts.MaxConcurrentSearches)
+	if e.degradedNodes <= 0 {
+		e.degradedNodes = DefaultDegradedSolverNodes
+	}
+	if e.logf == nil {
+		e.logf = log.Printf
+	}
+	if opts.MaxConcurrentSearches > 0 || opts.TenantRate > 0 {
+		e.ctrl = admit.New(admit.Options{
+			MaxConcurrent: opts.MaxConcurrentSearches,
+			MaxQueue:      opts.MaxQueuedSearches,
+			MaxWait:       opts.QueueWait,
+			TenantRate:    opts.TenantRate,
+			TenantBurst:   opts.TenantBurst,
+		})
 	}
 	return e
 }
 
-// Search serves one search request. A request whose placement and
+// Search serves one search request with no tenant attribution and no
+// degradation opt-in. It is Serve with a bare Request; see Serve.
+func (e *Engine) Search(ctx context.Context, p *sched.Placement, opts core.Options) (*core.Result, CacheInfo, error) {
+	return e.Serve(ctx, Request{Placement: p, Options: opts})
+}
+
+// Serve serves one search request. A request whose placement and
 // search-relevant options match a cached result is answered via core.Extend
 // (or directly, when the micro-batch count also matches) without invoking
 // the repetend solver; a request equal to one currently being searched
-// waits for that search instead of duplicating it. Cancelling ctx aborts
-// the caller's own work promptly — including the wait on a coalesced
-// search — and returns ctx's error.
-func (e *Engine) Search(ctx context.Context, p *sched.Placement, opts core.Options) (*core.Result, CacheInfo, error) {
+// waits for that search instead of duplicating it. Cold searches pass
+// through admission control: refused requests fail fast with an error
+// unwrapping to ErrOverloaded, unless the request opted in to degradation
+// (Request.AllowDegraded), in which case a node-capped best-effort search
+// answers it with CacheInfo.Degraded set. Cancelling ctx aborts the
+// caller's own work promptly — including the wait on a coalesced search —
+// and returns ctx's error.
+func (e *Engine) Serve(ctx context.Context, req Request) (*core.Result, CacheInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	p, opts := req.Placement, req.Options
 	info := CacheInfo{}
+	if p == nil {
+		return nil, info, fmt.Errorf("%w: nil placement", ErrInvalidRequest)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, info, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
 	}
@@ -193,7 +348,20 @@ func (e *Engine) Search(ctx context.Context, p *sched.Placement, opts core.Optio
 					// retry, becoming the leader if the slot is still free.
 					continue
 				}
+				if errors.Is(fc.err, ErrOverloaded) {
+					// The leader was refused by admission, so this coalesced
+					// request was shed with it.
+					e.mu.Lock()
+					e.shed++
+					e.mu.Unlock()
+				}
 				return nil, info, fc.err
+			}
+			if fc.degraded && !req.AllowDegraded {
+				// The leader settled for a best-effort result this caller did
+				// not opt in to; retry for a full search (likely becoming the
+				// leader and facing its own admission verdict).
+				continue
 			}
 			out, err := extendTo(ctx, fc.res, opts)
 			if err != nil {
@@ -201,8 +369,12 @@ func (e *Engine) Search(ctx context.Context, p *sched.Placement, opts core.Optio
 			}
 			e.mu.Lock()
 			e.shared++
+			if fc.degraded {
+				e.degraded++
+			}
 			e.mu.Unlock()
 			info.Shared = true
+			info.Degraded = fc.degraded
 			return out, info, nil
 		}
 		fc := &flightCall{done: make(chan struct{})}
@@ -210,42 +382,84 @@ func (e *Engine) Search(ctx context.Context, p *sched.Placement, opts core.Optio
 		e.misses++
 		e.mu.Unlock()
 
-		res, err := e.lead(ctx, key, fc, p, opts)
+		res, err := e.lead(ctx, key, info.Fingerprint, fc, req)
+		info.Degraded = fc.degraded
 		return res, info, err
 	}
 }
 
 // lead runs the search as the singleflight leader. The flight slot is
 // released in a defer — a panic inside the search must not strand followers
-// on fc.done or poison the key until restart, so it is converted into an
-// error shared with them. The search runs under the leader's own context:
-// if the leader is cancelled, followers whose contexts are still live
-// re-elect a leader and restart the search (the partial sweep is lost — a
-// deliberate simplicity trade-off over detaching the search onto a
-// waiter-refcounted context).
-func (e *Engine) lead(ctx context.Context, key string, fc *flightCall, p *sched.Placement, opts core.Options) (res *core.Result, err error) {
+// on fc.done or poison the key until restart, so it is converted into a
+// structured *InternalError shared with them (and logged once here). The
+// search runs under the leader's own context: if the leader is cancelled,
+// followers whose contexts are still live re-elect a leader and restart the
+// search (the partial sweep is lost — a deliberate simplicity trade-off
+// over detaching the search onto a waiter-refcounted context).
+func (e *Engine) lead(ctx context.Context, key, fingerprint string, fc *flightCall, req Request) (res *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("%w: %v", ErrSearchPanic, r)
+			res, err = nil, &InternalError{Fingerprint: fingerprint, Recovered: r}
+			e.logf("engine: search %s panicked: %v", fingerprint, r)
 		}
 		fc.res, fc.err = res, err
 		e.mu.Lock()
 		delete(e.flight, key)
-		if err == nil {
+		if err == nil && !fc.degraded {
+			// Degraded results are deliberately not cached: they are
+			// load-shaped, not search-shaped, and pinning one would keep
+			// serving a budget-starved answer long after the overload passed.
 			e.insert(key, res)
 		}
 		e.mu.Unlock()
 		close(fc.done)
 	}()
-	if e.sem != nil {
-		select {
-		case e.sem <- struct{}{}:
-			defer func() { <-e.sem }()
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	if e.ctrl != nil {
+		release, waited, aerr := e.ctrl.Admit(ctx, req.Tenant)
+		if aerr != nil {
+			if errors.Is(aerr, ErrOverloaded) {
+				if req.AllowDegraded {
+					return e.searchDegraded(ctx, fc, req)
+				}
+				e.mu.Lock()
+				e.shed++
+				e.mu.Unlock()
+			}
+			return nil, aerr
 		}
+		defer release()
+		e.mu.Lock()
+		e.admitted++
+		if waited {
+			e.queued++
+		}
+		e.mu.Unlock()
+	} else {
+		e.mu.Lock()
+		e.admitted++
+		e.mu.Unlock()
 	}
-	return core.Search(ctx, p, opts)
+	if ferr := faultpoint.Inject(faultpoint.EngineSingleflight); ferr != nil {
+		return nil, ferr
+	}
+	return core.Search(ctx, req.Placement, req.Options)
+}
+
+// searchDegraded answers an over-admission request best-effort: the same
+// search with every exact solve capped to a small node budget, so it
+// finishes in a bounded sliver of a full search's work. The result is
+// marked degraded on the flight call (so coalesced followers that did not
+// opt in retry instead of silently accepting it) and is never cached.
+func (e *Engine) searchDegraded(ctx context.Context, fc *flightCall, req Request) (*core.Result, error) {
+	opts := req.Options
+	if opts.SolverNodes == 0 || opts.SolverNodes > e.degradedNodes {
+		opts.SolverNodes = e.degradedNodes
+	}
+	fc.degraded = true
+	e.mu.Lock()
+	e.degraded++
+	e.mu.Unlock()
+	return core.Search(ctx, req.Placement, opts)
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -257,6 +471,11 @@ func (e *Engine) Stats() Stats {
 		Misses:    e.misses,
 		Shared:    e.shared,
 		Evictions: e.evictions,
+		Admitted:  e.admitted,
+		Queued:    e.queued,
+		Shed:      e.shed,
+		Degraded:  e.degraded,
+		Restored:  e.restored,
 		Entries:   len(e.entries),
 	}
 }
@@ -293,6 +512,10 @@ func extendTo(ctx context.Context, cached *core.Result, opts core.Options) (*cor
 // That determinism is what makes the cache reproducible: which request of
 // a coalesced burst becomes the singleflight leader cannot change the
 // entry that gets pinned.
+//
+// The key's fingerprint prefix doubles as a snapshot integrity check: a
+// restored entry's key must begin with the fingerprint of its embedded
+// placement (snapshot.go).
 func requestKey(fingerprint string, p *sched.Placement, opts core.Options) string {
 	memory := opts.Memory
 	if memory == 0 {

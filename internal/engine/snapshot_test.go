@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"tessel/internal/core"
+	"tessel/internal/faultpoint"
+	"tessel/internal/sched"
+)
+
+// logRecorder captures engine warnings so tests can assert on them; the
+// mutex matters because degraded and snapshot paths may log from multiple
+// goroutines under -race.
+type logRecorder struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (r *logRecorder) logf(format string, args ...any) {
+	r.mu.Lock()
+	r.lines = append(r.lines, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+func (r *logRecorder) count(substr string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, l := range r.lines {
+		if strings.Contains(l, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// warmEngine runs cold searches for the given placements and returns the
+// engine together with the full-schedule fingerprint of each result.
+func warmEngine(t testing.TB, opts Options, ps ...*sched.Placement) (*Engine, []string) {
+	t.Helper()
+	e := New(opts)
+	fps := make([]string, len(ps))
+	for i, p := range ps {
+		res, info, err := e.Search(context.Background(), p, core.Options{N: 8})
+		if err != nil {
+			t.Fatalf("cold search %d: %v", i, err)
+		}
+		if info.Hit || info.Shared {
+			t.Fatalf("cold search %d served warm: %+v", i, info)
+		}
+		fps[i] = sched.FingerprintSchedule(res.Full)
+	}
+	return e, fps
+}
+
+// snapshotBytes serializes e's cache and returns the raw snapshot.
+func snapshotBytes(t testing.TB, e *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTrip is the headline persistence property: every entry
+// written by SnapshotTo restores into a fresh engine, and the restored
+// entries serve byte-identical schedules (same canonical fingerprint) as
+// the originals — as cache hits, without re-running the sweep.
+func TestSnapshotRoundTrip(t *testing.T) {
+	ps := []*sched.Placement{mshape(t), vshape(t)}
+	e, fps := warmEngine(t, Options{}, ps...)
+	snap := snapshotBytes(t, e)
+
+	fresh := New(Options{})
+	n, err := fresh.RestoreFrom(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ps) {
+		t.Fatalf("restored %d entries, want %d", n, len(ps))
+	}
+	st := fresh.Stats()
+	if st.Restored != uint64(len(ps)) || st.Entries != len(ps) {
+		t.Fatalf("stats after restore: %+v", st)
+	}
+	for i, p := range ps {
+		res, info, err := fresh.Search(context.Background(), p, core.Options{N: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Hit {
+			t.Fatalf("placement %d missed the restored cache: %+v", i, info)
+		}
+		if got := sched.FingerprintSchedule(res.Full); got != fps[i] {
+			t.Fatalf("placement %d: restored schedule fingerprint %s != original %s", i, got, fps[i])
+		}
+	}
+	// The restore ran zero searches: hits only.
+	if st2 := fresh.Stats(); st2.Misses != 0 || st2.Hits != uint64(len(ps)) {
+		t.Fatalf("restored engine ran a search: %+v", st2)
+	}
+}
+
+// TestSnapshotFileRoundTrip drives the file layer: SaveSnapshot then
+// LoadSnapshot round-trips, a missing file is a silent cold start, and no
+// temp file is left behind.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	e, _ := warmEngine(t, Options{}, mshape(t))
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := e.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	rec := &logRecorder{}
+	fresh := New(Options{Logf: rec.logf})
+	if n := fresh.LoadSnapshot(path); n != 1 {
+		t.Fatalf("LoadSnapshot = %d, want 1", n)
+	}
+	if missing := New(Options{Logf: rec.logf}); missing.LoadSnapshot(filepath.Join(t.TempDir(), "absent.snap")) != 0 {
+		t.Fatal("missing snapshot restored entries")
+	}
+	if len(rec.lines) != 0 {
+		t.Fatalf("clean load and first boot logged warnings: %v", rec.lines)
+	}
+}
+
+// TestSnapshotCorruptAndTorn flips one byte (corrupt) and truncates the
+// payload (torn write): RestoreFrom must report an error and restore
+// nothing, and LoadSnapshot must degrade to a logged cold start — never an
+// error exit, never a partial cache.
+func TestSnapshotCorruptAndTorn(t *testing.T) {
+	e, _ := warmEngine(t, Options{}, mshape(t))
+	snap := snapshotBytes(t, e)
+
+	corrupt := bytes.Clone(snap)
+	corrupt[len(corrupt)-2] ^= 0x41
+	torn := snap[:len(snap)/2]
+
+	for name, b := range map[string][]byte{"corrupt": corrupt, "torn": torn} {
+		fresh := New(Options{})
+		n, err := fresh.RestoreFrom(bytes.NewReader(b))
+		if err == nil || n != 0 {
+			t.Fatalf("%s snapshot: restored %d entries, err=%v", name, n, err)
+		}
+		if fresh.Stats().Entries != 0 {
+			t.Fatalf("%s snapshot: cache not empty after failed restore", name)
+		}
+
+		rec := &logRecorder{}
+		cold := New(Options{Logf: rec.logf})
+		path := filepath.Join(t.TempDir(), "cache.snap")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got := cold.LoadSnapshot(path); got != 0 {
+			t.Fatalf("%s snapshot: LoadSnapshot = %d, want 0", name, got)
+		}
+		if rec.count("starting cold") != 1 {
+			t.Fatalf("%s snapshot: cold start not logged: %v", name, rec.lines)
+		}
+		// The engine must still work cold.
+		if _, info, err := cold.Search(context.Background(), mshape(t), core.Options{N: 4}); err != nil || info.Hit {
+			t.Fatalf("%s snapshot: engine unusable after cold start: info=%+v err=%v", name, info, err)
+		}
+	}
+}
+
+// TestSnapshotVersionMismatch: a snapshot from a future format version is
+// refused outright rather than half-parsed.
+func TestSnapshotVersionMismatch(t *testing.T) {
+	e, _ := warmEngine(t, Options{}, mshape(t))
+	snap := snapshotBytes(t, e)
+	future := bytes.Replace(snap, []byte(" v1 "), []byte(" v2 "), 1)
+	if n, err := New(Options{}).RestoreFrom(bytes.NewReader(future)); err == nil || n != 0 {
+		t.Fatalf("future version restored %d entries, err=%v", n, err)
+	}
+}
+
+// TestSnapshotBadEntrySkipped tampers with one entry inside an otherwise
+// valid snapshot (recomputing the checksum, as a stale-but-well-formed file
+// would have): the bad entry is skipped with a warning, the rest restore.
+func TestSnapshotBadEntrySkipped(t *testing.T) {
+	e, _ := warmEngine(t, Options{}, mshape(t), vshape(t))
+	snap := snapshotBytes(t, e)
+
+	nl := bytes.IndexByte(snap, '\n')
+	var body snapshotBody
+	if err := json.Unmarshal(snap[nl+1:], &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Entries) != 2 {
+		t.Fatalf("snapshot holds %d entries, want 2", len(body.Entries))
+	}
+	body.Entries[0].Makespan++ // fails the full-schedule cross-check
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(payload)
+	tampered := fmt.Appendf(nil, "%s v%d %s\n", snapshotMagic, snapshotVersion, hex.EncodeToString(sum[:]))
+	tampered = append(tampered, payload...)
+
+	rec := &logRecorder{}
+	fresh := New(Options{Logf: rec.logf})
+	n, err := fresh.RestoreFrom(bytes.NewReader(tampered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || fresh.Stats().Entries != 1 {
+		t.Fatalf("restored %d entries (cache %d), want 1", n, fresh.Stats().Entries)
+	}
+	if rec.count("skipping entry") != 1 {
+		t.Fatalf("skipped entry not logged exactly once: %v", rec.lines)
+	}
+}
+
+// TestSnapshotNeverOverwritesLive: restoring into an engine that already
+// holds a key must keep the live result — a late restore cannot clobber
+// fresher state.
+func TestSnapshotNeverOverwritesLive(t *testing.T) {
+	e, _ := warmEngine(t, Options{}, mshape(t))
+	snap := snapshotBytes(t, e)
+	if n, err := e.RestoreFrom(bytes.NewReader(snap)); err != nil || n != 0 {
+		t.Fatalf("restore over live cache: n=%d err=%v", n, err)
+	}
+	if st := e.Stats(); st.Entries != 1 || st.Restored != 0 {
+		t.Fatalf("live entry displaced: %+v", st)
+	}
+}
+
+// TestSnapshotPreservesRecency: entries are written MRU-first and restored
+// in recency order, so a restore into a smaller cache keeps the most
+// recently used results.
+func TestSnapshotPreservesRecency(t *testing.T) {
+	// mshape searched first, vshape second: vshape is MRU.
+	e, fps := warmEngine(t, Options{}, mshape(t), vshape(t))
+	snap := snapshotBytes(t, e)
+
+	small := New(Options{CacheSize: 1})
+	if _, err := small.RestoreFrom(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	if st := small.Stats(); st.Entries != 1 {
+		t.Fatalf("cap-1 cache holds %d entries", st.Entries)
+	}
+	res, info, err := small.Search(context.Background(), vshape(t), core.Options{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Hit {
+		t.Fatal("MRU entry was not the one kept")
+	}
+	if got := sched.FingerprintSchedule(res.Full); got != fps[1] {
+		t.Fatalf("kept entry fingerprint %s != vshape original %s", got, fps[1])
+	}
+}
+
+// TestSnapshotWriteFaultLeavesOldSnapshot injects a fault between payload
+// write and rename: SaveSnapshot must fail, leave no temp file, and leave
+// the previous snapshot fully loadable.
+func TestSnapshotWriteFaultLeavesOldSnapshot(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	e, _ := warmEngine(t, Options{}, mshape(t))
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := e.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the cache, then make the next write fail.
+	if _, _, err := e.Search(context.Background(), vshape(t), core.Options{N: 8}); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected write fault")
+	faultpoint.Arm(faultpoint.EngineSnapshotWrite, func() error { return injected })
+	if err := e.SaveSnapshot(path); !errors.Is(err, injected) {
+		t.Fatalf("SaveSnapshot under fault: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("torn temp file left behind: %v", err)
+	}
+	if n := New(Options{}).LoadSnapshot(path); n != 1 {
+		t.Fatalf("previous snapshot damaged: restored %d entries, want 1", n)
+	}
+
+	// Disarmed, the same save succeeds and the new snapshot carries both.
+	faultpoint.Disarm(faultpoint.EngineSnapshotWrite)
+	if err := e.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if n := New(Options{}).LoadSnapshot(path); n != 2 {
+		t.Fatalf("post-fault save restored %d entries, want 2", n)
+	}
+}
+
+// BenchmarkEngineSnapshotRestore measures restart-to-warm: deserializing,
+// re-validating, and inserting a snapshot of solved caches into a fresh
+// engine — the work a reboot pays instead of re-running the sweeps.
+func BenchmarkEngineSnapshotRestore(b *testing.B) {
+	e, _ := warmEngine(b, Options{}, mshape(b), vshape(b))
+	snap := snapshotBytes(b, e)
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := New(Options{})
+		if n, err := fresh.RestoreFrom(bytes.NewReader(snap)); err != nil || n != 2 {
+			b.Fatalf("restore: n=%d err=%v", n, err)
+		}
+	}
+}

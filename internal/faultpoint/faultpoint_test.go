@@ -1,0 +1,95 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Inject("nope"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	want := errors.New("boom")
+	Arm("p", func() error { return want })
+	if err := Inject("p"); !errors.Is(err, want) {
+		t.Fatalf("armed point returned %v", err)
+	}
+	// Another point stays disarmed.
+	if err := Inject("q"); err != nil {
+		t.Fatalf("unrelated point returned %v", err)
+	}
+	Disarm("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after disarm", armed.Load())
+	}
+}
+
+func TestArmNilDisarms(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", func() error { return errors.New("x") })
+	Arm("p", nil)
+	if err := Inject("p"); err != nil {
+		t.Fatalf("nil-armed point returned %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d", armed.Load())
+	}
+}
+
+func TestRearmReplacesWithoutLeak(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", func() error { return errors.New("first") })
+	Arm("p", func() error { return errors.New("second") })
+	if armed.Load() != 1 {
+		t.Fatalf("armed count %d after re-arm", armed.Load())
+	}
+	if err := Inject("p"); err == nil || err.Error() != "second" {
+		t.Fatalf("re-armed point returned %v", err)
+	}
+	Reset()
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after reset", armed.Load())
+	}
+}
+
+func TestPanicPropagatesOnCaller(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", func() error { panic("injected") })
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	Inject("p")
+	t.Fatal("unreached")
+}
+
+// TestConcurrentInject hammers a point from many goroutines while arming
+// and disarming it — the registry must stay race-free (run with -race).
+func TestConcurrentInject(t *testing.T) {
+	t.Cleanup(Reset)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				Inject("spin")
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		Arm("spin", func() error { return nil })
+		Disarm("spin")
+	}
+	wg.Wait()
+}

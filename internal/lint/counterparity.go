@@ -17,6 +17,13 @@ package lint
 //     core.Stats must appear among the payload's json tags as the
 //     snake_case of its name, with the "Solver" prefix optionally
 //     dropped (SolverMemoHits → memo_hits).
+//  3. In the package that defines the engine stats payload (a struct named
+//     serveStatsJSON importing engine): every int/uint64 counter of
+//     engine.Stats must appear among the payload's json tags as the
+//     snake_case of its name. This is the serving-tier leg of the chore:
+//     an admission or snapshot counter (Shed, Degraded, Restored, …) that
+//     exists on the engine but not in /v1/stats is invisible to exactly
+//     the dashboards overload incidents are debugged with.
 //
 // A field that is genuinely not a counter is excluded with a
 // //tessel:waive:counterparity directive on its declaration line.
@@ -26,7 +33,8 @@ package lint
 // declares a struct type Stats and imports packages whose last path
 // element is "solver" and "repetend"; rule 2 fires in any package that
 // declares searchStatsJSON and imports a package whose last element is
-// "core".
+// "core"; rule 3 fires in any package that declares serveStatsJSON and
+// imports a package whose last element is "engine".
 
 import (
 	"go/token"
@@ -51,6 +59,7 @@ var CounterParityAnalyzer = &Analyzer{
 func runCounterParity(pass *Pass) error {
 	checkStatsParity(pass)
 	checkServeParity(pass)
+	checkEngineServeParity(pass)
 	return nil
 }
 
@@ -93,9 +102,10 @@ func localStruct(pass *Pass, name string) (*types.Struct, bool) {
 }
 
 // isCounterField reports whether a struct field is a counter for parity
-// purposes: an exported field of plain int64 (producer structs) or, when
-// wide is set, int as well (Stats aggregates small int counters too).
-// Named types like time.Duration are excluded.
+// purposes: an exported field of plain int64 or uint64 (producer and
+// engine counter structs) or, when wide is set, int as well (aggregates
+// carry small int counters and gauges too). Named types like time.Duration
+// are excluded.
 func isCounterField(f *types.Var, wide bool) bool {
 	if !f.Exported() {
 		return false
@@ -105,7 +115,7 @@ func isCounterField(f *types.Var, wide bool) bool {
 		return false
 	}
 	switch b.Kind() {
-	case types.Int64:
+	case types.Int64, types.Uint64:
 		return true
 	case types.Int:
 		return wide
@@ -136,7 +146,7 @@ func checkStatsParity(pass *Pass) {
 			if statsFields[f.Name()] || statsFields["Solver"+f.Name()] {
 				continue
 			}
-			pos, ok := fieldReportPos(pass, f)
+			pos, ok := fieldReportPos(pass, f, "Stats")
 			if !ok {
 				continue
 			}
@@ -177,7 +187,7 @@ func checkServeParity(pass *Pass) {
 		if tags[want] || tags[alt] {
 			continue
 		}
-		pos, ok := fieldReportPos(pass, f)
+		pos, ok := fieldReportPos(pass, f, "searchStatsJSON")
 		if !ok {
 			continue
 		}
@@ -185,12 +195,48 @@ func checkServeParity(pass *Pass) {
 	}
 }
 
+// checkEngineServeParity is rule 3: engine counters must reach the serving
+// payload. Unlike rule 2 there is no prefix-dropping convention — the
+// engine's counter names map to their snake_case tags verbatim.
+func checkEngineServeParity(pass *Pass) {
+	payload, ok := localStruct(pass, "serveStatsJSON")
+	if !ok {
+		return
+	}
+	stats, ok := importedStruct(pass, "engine", "Stats")
+	if !ok {
+		return
+	}
+	tags := map[string]bool{}
+	for i := 0; i < payload.NumFields(); i++ {
+		tag := reflect.StructTag(payload.Tag(i)).Get("json")
+		if name, _, _ := strings.Cut(tag, ","); name != "" && name != "-" {
+			tags[name] = true
+		}
+	}
+	for i := 0; i < stats.NumFields(); i++ {
+		f := stats.Field(i)
+		if !isCounterField(f, true) {
+			continue
+		}
+		want := camelToSnake(f.Name())
+		if tags[want] {
+			continue
+		}
+		pos, ok := fieldReportPos(pass, f, "serveStatsJSON")
+		if !ok {
+			continue
+		}
+		pass.Reportf(pos, "engine.Stats counter %s is not exposed by serveStatsJSON; add a field tagged json:%s (or waive the Stats field where it is declared)", f.Name(), strconv.Quote(want))
+	}
+}
+
 // fieldReportPos maps a field to a reportable position: the field's own
 // declaration when it lies in the package under analysis (so a waiver on
-// the declaration line works), else the position of the local struct that
-// should mirror it. ok is false when a waiver at the field's declaration
-// in its home package suppresses the finding.
-func fieldReportPos(pass *Pass, f *types.Var) (pos token.Pos, ok bool) {
+// the declaration line works), else the position of the named local anchor
+// struct that should mirror it. ok is false when a waiver at the field's
+// declaration in its home package suppresses the finding.
+func fieldReportPos(pass *Pass, f *types.Var, anchor string) (pos token.Pos, ok bool) {
 	if f.Pkg() == pass.Pkg {
 		return f.Pos(), true
 	}
@@ -201,10 +247,8 @@ func fieldReportPos(pass *Pass, f *types.Var) (pos token.Pos, ok bool) {
 			return token.NoPos, false
 		}
 	}
-	for _, name := range []string{"Stats", "searchStatsJSON"} {
-		if tn, isType := pass.Pkg.Scope().Lookup(name).(*types.TypeName); isType {
-			return tn.Pos(), true
-		}
+	if tn, isType := pass.Pkg.Scope().Lookup(anchor).(*types.TypeName); isType {
+		return tn.Pos(), true
 	}
 	return token.NoPos, false
 }

@@ -1,0 +1,13 @@
+// Package engine is the serving-engine side of the counterparity fixture:
+// it declares the engine Stats aggregate the serve payload must mirror
+// (rule 3). The uint64 counters and the int gauge are all parity-relevant;
+// the bool is not a counter and must not be demanded.
+package engine
+
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Shed    uint64
+	Entries int
+	Ready   bool
+}

@@ -1,10 +1,16 @@
 // Package serve is the serving side of the counterparity fixture: it
-// declares the stats payload and imports core, so rule 2 runs here.
-// solver_nodes and period_probes are matched (the Solver prefix drops);
-// NRSwept has no tag and is reported at the payload anchor.
+// declares the stats payloads and imports core and engine, so rules 2 and
+// 3 run here. In searchStatsJSON, solver_nodes and period_probes are
+// matched (the Solver prefix drops); NRSwept has no tag and is reported at
+// the payload anchor. In serveStatsJSON, hits, misses and entries are
+// matched verbatim; Shed has no tag and is reported at its anchor, while
+// the non-counter Ready field demands nothing.
 package serve
 
-import "tessel/internal/lint/testdata/src/counterparity/core"
+import (
+	"tessel/internal/lint/testdata/src/counterparity/core"
+	"tessel/internal/lint/testdata/src/counterparity/engine"
+)
 
 type searchStatsJSON struct { // want "Stats counter NRSwept is not exposed"
 	SolverNodes  int64 `json:"solver_nodes"`
@@ -14,4 +20,15 @@ type searchStatsJSON struct { // want "Stats counter NRSwept is not exposed"
 // Render keeps the core import live.
 func Render(s core.Stats) searchStatsJSON {
 	return searchStatsJSON{SolverNodes: s.SolverNodes, PeriodProbes: s.PeriodProbes}
+}
+
+type serveStatsJSON struct { // want "engine.Stats counter Shed is not exposed"
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// RenderServe keeps the engine import live.
+func RenderServe(s engine.Stats) serveStatsJSON {
+	return serveStatsJSON{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries}
 }

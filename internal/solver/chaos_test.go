@@ -1,0 +1,76 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tessel/internal/faultpoint"
+)
+
+// TestChaosParallelWorkerPanic injects a panic into one parallel root-split
+// job: the panic must be contained on the worker goroutine and re-raised on
+// the Solve caller's goroutine (not crash the process from a detached
+// worker), and because the panicking worker's searcher is dropped rather
+// than recycled, a subsequent fault-free solve on the same pool must return
+// a result identical to a never-faulted run.
+func TestChaosParallelWorkerPanic(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	tasks := vshapeTasks(t, 4)
+	clean, err := Solve(context.Background(), tasks, Options{Workers: 4})
+	if err != nil || !clean.Optimal {
+		t.Fatalf("baseline solve: res=%+v err=%v", clean, err)
+	}
+
+	var fired atomic.Bool
+	faultpoint.Arm(faultpoint.SolverParallelJob, func() error {
+		if fired.CompareAndSwap(false, true) {
+			return errors.New("injected worker fault")
+		}
+		return nil
+	})
+
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		_, _ = Solve(context.Background(), tasks, Options{Workers: 4})
+		return nil
+	}()
+	if recovered == nil {
+		t.Fatal("worker panic did not propagate to the Solve caller")
+	}
+	rerr, ok := recovered.(error)
+	if !ok || !strings.Contains(rerr.Error(), "injected worker fault") {
+		t.Fatalf("recovered value %v lost the fault", recovered)
+	}
+
+	// The point is passive now (it fired once); the pool must be fully
+	// usable and deterministic after dropping the corrupted searcher.
+	res, err := Solve(context.Background(), tasks, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("post-fault solve: %v", err)
+	}
+	res.Elapsed = clean.Elapsed
+	if !reflect.DeepEqual(res, clean) {
+		t.Fatalf("post-fault solve differs from baseline:\n%+v\nvs\n%+v", res, clean)
+	}
+}
+
+// TestChaosSolveFaultReturnsError: an armed error (not panic) at the solve
+// entry surfaces as an ordinary Solve error, proving the injection point
+// sits on the regular error path and costs nothing when disarmed.
+func TestChaosSolveFaultReturnsError(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	tasks := vshapeTasks(t, 2)
+	injected := errors.New("injected solve fault")
+	faultpoint.Arm(faultpoint.SolverSolve, func() error { return injected })
+	if _, err := Solve(context.Background(), tasks, Options{}); !errors.Is(err, injected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	faultpoint.Disarm(faultpoint.SolverSolve)
+	if res, err := Solve(context.Background(), tasks, Options{}); err != nil || !res.Optimal {
+		t.Fatalf("disarmed solve: res=%+v err=%v", res, err)
+	}
+}

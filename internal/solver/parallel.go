@@ -50,6 +50,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"tessel/internal/faultpoint"
 )
 
 const (
@@ -164,6 +166,11 @@ type pJob struct {
 	truncated bool
 	boundCut  bool
 	cancelled bool
+	// panicked holds the value recovered from a panic inside this job's
+	// search (injected by faultpoint or a real bug); the merge re-raises the
+	// first panicked job in job order on the solve goroutine, so containment
+	// lives with the solve's caller, not on a worker goroutine.
+	panicked any
 }
 
 // candStart computes the earliest feasible start of frontier task t in the
@@ -355,6 +362,9 @@ func (w *searcher) runJob(jb *pJob) {
 		jb.cancelled = true
 		return
 	}
+	if err := faultpoint.Inject(faultpoint.SolverParallelJob); err != nil {
+		panic(err)
+	}
 	if jb.budget < 0 {
 		// No budget share left for this job: it truncates before expanding a
 		// single node, exactly as the sequential search would at this point
@@ -430,6 +440,25 @@ func (w *searcher) runJob(jb *pJob) {
 		c := candidate{task: t, start: w.starts[t]}
 		w.undo(c, w.pfxAvail[w.pfxOff[di]:w.pfxOff[di+1]], w.pfxMakespan[di], w.pfxMaxTail[di])
 	}
+}
+
+// runJobGuarded runs one job on a worker goroutine, containing any panic in
+// the job's result slot: recover only works on the goroutine that panics, so
+// without this guard a crashing subtree search would kill the process before
+// the solve's caller (ultimately the engine's structured-error recovery)
+// ever saw it. Reports whether the searcher is still trustworthy — a panic
+// can strand it mid-apply, so the caller must drop a false searcher instead
+// of recycling it.
+func runJobGuarded(w *searcher, jb *pJob) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			jb.panicked = r
+			jb.done = false
+			ok = false
+		}
+	}()
+	w.runJob(jb)
+	return true
 }
 
 // runParallel is the parallel counterpart of run(): greedy seed, prefix
@@ -513,24 +542,40 @@ func (s *searcher) runParallel() {
 		go func() {
 			defer wg.Done()
 			w := pool.get()
-			defer pool.put(w)
 			w.ctx = ctx
 			if err := w.prepareWorker(tasks, opts, baseMakespan, baseSet, si); err != nil {
 				// reset validated this exact input on the root searcher; the
 				// only residual failure is a pre-cancelled context, which the
 				// per-job guard reports per job.
+				pool.put(w)
 				return
 			}
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(jobs) {
+					pool.put(w)
 					return
 				}
-				w.runJob(&jobs[i])
+				if !runJobGuarded(w, &jobs[i]) {
+					// The panic may have stranded w mid-apply; drop it for GC
+					// rather than recycling corrupt state. The surviving
+					// workers keep draining the job list.
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	for i := range jobs {
+		if jobs[i].panicked != nil {
+			// Re-raise the first contained panic (job order keeps the choice
+			// deterministic) on the solve goroutine, where the caller's
+			// recover — the engine's structured-error conversion — can see
+			// the original value. Pool.Solve's Put is skipped by the panic,
+			// so the root searcher is dropped along with the worker's.
+			panic(jobs[i].panicked)
+		}
+	}
 
 	// Reconcile unspent budget: grant it to still-truncated jobs in job
 	// order via sequential re-solves on this searcher, so truncation

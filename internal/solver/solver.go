@@ -76,6 +76,7 @@ import (
 	"math/bits"
 	"time"
 
+	"tessel/internal/faultpoint"
 	"tessel/internal/sched"
 )
 
@@ -342,6 +343,9 @@ func (s *searcher) solve(ctx context.Context, tasks []Task, opts Options) (Resul
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if err := faultpoint.Inject(faultpoint.SolverSolve); err != nil {
 		return Result{}, err
 	}
 	if len(tasks) == 0 {

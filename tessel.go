@@ -259,12 +259,18 @@ var FingerprintSchedule = sched.FingerprintSchedule
 type (
 	// Engine is the cache-backed, deduplicating search front-end.
 	Engine = engine.Engine
-	// EngineOptions sizes the engine's repetend cache.
+	// EngineOptions sizes the engine's repetend cache and its admission
+	// limits (concurrency cap, wait queue, per-tenant budgets, degraded
+	// search budget).
 	EngineOptions = engine.Options
-	// EngineStats is a snapshot of the engine's cache counters.
+	// EngineStats is a snapshot of the engine's cache and admission
+	// counters.
 	EngineStats = engine.Stats
 	// CacheInfo says how one Engine.Search call was served.
 	CacheInfo = engine.CacheInfo
+	// SearchRequest is one request at the Engine.Serve boundary: placement
+	// and options plus the tenant attribution and degradation opt-in.
+	SearchRequest = engine.Request
 )
 
 // NewEngine builds a serving engine with the given cache capacity.
@@ -272,7 +278,28 @@ var NewEngine = engine.New
 
 // ErrSearchPanic marks an Engine.Search that failed with a recovered panic
 // — a server bug, not a bad request.
+//
+// Deprecated: matches the same errors as ErrInternal; new code should use
+// ErrInternal and inspect *InternalError for the fingerprint.
 var ErrSearchPanic = engine.ErrSearchPanic
+
+// ErrInternal marks (by unwrapping) an Engine search that failed from a
+// recovered panic — a server bug, not a bad request or an unsatisfiable
+// search. The concrete error is an *InternalError.
+var ErrInternal = engine.ErrInternal
+
+// InternalError is the structured form of ErrInternal: the placement
+// fingerprint whose search panicked plus the recovered value.
+type InternalError = engine.InternalError
+
+// ErrOverloaded marks (by unwrapping) an Engine request refused by
+// admission control: the cold-search queue was full, the queue wait ran
+// out, or the tenant budget was exhausted. The concrete error is an
+// *OverloadError carrying a Retry-After hint.
+var ErrOverloaded = engine.ErrOverloaded
+
+// OverloadError is the structured form of ErrOverloaded.
+type OverloadError = engine.OverloadError
 
 // ErrInvalidRequest marks an Engine.Search rejected for an invalid
 // placement or option values — a client error (400), not a search failure.
@@ -281,3 +308,7 @@ var ErrInvalidRequest = engine.ErrInvalidRequest
 // DefaultEngineCacheSize is the engine's cache capacity when
 // EngineOptions.CacheSize is zero.
 const DefaultEngineCacheSize = engine.DefaultCacheSize
+
+// DefaultDegradedSolverNodes is the per-solve node cap of degraded
+// (best-effort) searches when EngineOptions.DegradedSolverNodes is zero.
+const DefaultDegradedSolverNodes = engine.DefaultDegradedSolverNodes
