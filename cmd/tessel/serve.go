@@ -117,6 +117,13 @@ type searchStatsJSON struct {
 	// MemoHits is the number of solver nodes pruned by the dominance memo
 	// across the repetend instance solves.
 	MemoHits int64 `json:"memo_hits"`
+	// SharedMemoHits is the number of solver nodes pruned by the parallel
+	// solver's cross-job shared memo tier (disjoint from MemoHits; zero
+	// when the solves ran single-threaded).
+	SharedMemoHits int64 `json:"shared_memo_hits"`
+	// JobsStolen is the number of oversized root-split solver jobs
+	// deterministically re-split across the repetend instance solves.
+	JobsStolen int64 `json:"jobs_stolen"`
 	// NodesPerSec is the repetend-phase solver node throughput — the
 	// serving-side health measure of the allocation-free solver core.
 	NodesPerSec float64 `json:"nodes_per_sec"`
@@ -419,6 +426,8 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			NRSwept:           res.Stats.NRSwept,
 			SolverNodes:       res.Stats.SolverNodes,
 			MemoHits:          res.Stats.SolverMemoHits,
+			SharedMemoHits:    res.Stats.SolverSharedMemoHits,
+			JobsStolen:        res.Stats.SolverJobsStolen,
 			NodesPerSec:       res.Stats.NodesPerSec(),
 			PeriodProbes:      res.Stats.PeriodProbes,
 			PeriodRelaxations: res.Stats.PeriodRelaxations,
@@ -459,7 +468,11 @@ type serveStatsJSON struct {
 	Degraded uint64 `json:"degraded"`
 	// Restored counts cache entries loaded from the boot snapshot.
 	Restored uint64 `json:"restored"`
-	Entries  int    `json:"entries"`
+	// SharedMemoHits / JobsStolen are the engine-lifetime totals of the
+	// parallel solver's cross-job memo prunes and deterministic job splits.
+	SharedMemoHits uint64 `json:"shared_memo_hits"`
+	JobsStolen     uint64 `json:"jobs_stolen"`
+	Entries        int    `json:"entries"`
 	// Ready mirrors /readyz: false until the snapshot restore finished.
 	Ready bool `json:"ready"`
 	// SolverWorkers is the configured per-solve worker default;
@@ -485,6 +498,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shed:                   st.Shed,
 		Degraded:               st.Degraded,
 		Restored:               st.Restored,
+		SharedMemoHits:         st.SharedMemoHits,
+		JobsStolen:             st.JobsStolen,
 		Entries:                st.Entries,
 		Ready:                  s.ready.Load(),
 		SolverWorkers:          s.solverWorkers,

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"path/filepath"
@@ -409,6 +410,33 @@ func TestServeOverloadAndDegraded(t *testing.T) {
 	}
 	if st.Admitted != 1 || st.Shed != 1 || st.Degraded != 1 {
 		t.Fatalf("stats admitted=%d shed=%d degraded=%d, want 1/1/1", st.Admitted, st.Shed, st.Degraded)
+	}
+}
+
+// TestRetryAfterSecondsClamped: the Retry-After header mapper must emit a
+// positive whole-second count for every overload hint shape — most acutely
+// the expired-deadline shed, whose raw "time remaining" is negative.
+// Admission control clamps its hints at 1s, but the serve layer re-floors
+// rather than trusting that invariant across the package boundary.
+func TestRetryAfterSecondsClamped(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-90 * time.Second, 1}, // deadline elapsed before admission
+		{0, 1},
+		{300 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2}, // rounds up, never down to 1½→1
+	}
+	for _, tc := range cases {
+		err := error(&tessel.OverloadError{Reason: "deadline elapsed before admission", RetryAfter: tc.d})
+		if got := retryAfterSeconds(err); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+	if got := retryAfterSeconds(errors.New("not an overload")); got != 1 {
+		t.Errorf("non-overload fallback = %d, want 1", got)
 	}
 }
 

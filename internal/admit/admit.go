@@ -30,6 +30,20 @@ var ErrOverloaded = errors.New("admit: overloaded")
 // queue is full, so the wait time of a queued request is unknowable).
 const DefaultRetryAfter = time.Second
 
+// clampRetryAfter floors an overload back-off hint at one second. Hints are
+// sized from request state — a tenant bucket's refill sliver, a small queue
+// wait cap, or a deadline that had already elapsed at shed time — and can
+// legitimately compute to milliseconds, zero, or negative. A sub-second
+// hint rounds to an invalid or zero Retry-After header downstream, which
+// clients read as "retry immediately" — amplifying the very overload the
+// shed was relieving.
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	return d
+}
+
 // DefaultMaxTenants caps the tenant-bucket table so an adversarial stream
 // of fresh tenant names cannot grow it without bound.
 const DefaultMaxTenants = 4096
@@ -137,7 +151,7 @@ func New(opts Options) *Controller {
 func (c *Controller) Admit(ctx context.Context, tenant string) (release func(), queued bool, err error) {
 	if c.buckets != nil {
 		if wait := c.buckets.take(tenant); wait > 0 {
-			return nil, false, &OverloadError{Reason: "tenant budget exhausted", RetryAfter: wait, Tenant: tenant}
+			return nil, false, &OverloadError{Reason: "tenant budget exhausted", RetryAfter: clampRetryAfter(wait), Tenant: tenant}
 		}
 	}
 	if c.sem == nil {
@@ -150,7 +164,15 @@ func (c *Controller) Admit(ctx context.Context, tenant string) (release func(), 
 		return c.releaseSlot, false, nil
 	default:
 	}
-	// No free slot: queue, bounded and deadline-aware.
+	// No free slot: queue, bounded and deadline-aware. A request whose
+	// deadline has already elapsed could never use a slot, so shed it now
+	// rather than letting it occupy queue capacity — and note the hint is
+	// NOT the (negative) time to its deadline: the clamp floors it at 1s.
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem <= 0 {
+			return nil, false, &OverloadError{Reason: "deadline elapsed before admission", RetryAfter: clampRetryAfter(rem)}
+		}
+	}
 	if c.maxQ < 0 {
 		return nil, false, &OverloadError{Reason: "at capacity", RetryAfter: c.queueRetryAfter()}
 	}
@@ -178,10 +200,11 @@ func (c *Controller) Admit(ctx context.Context, tenant string) (release func(), 
 
 // queueRetryAfter is the back-off hint for queue-side refusals: the queue
 // wait cap when one is configured (by then a slot has either freed or the
-// queue has drained a step), else the default.
+// queue has drained a step), else the default — floored at one second
+// either way, since MaxWait may be configured well under a second.
 func (c *Controller) queueRetryAfter() time.Duration {
 	if c.maxWait > 0 {
-		return c.maxWait
+		return clampRetryAfter(c.maxWait)
 	}
 	return DefaultRetryAfter
 }

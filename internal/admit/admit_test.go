@@ -105,8 +105,96 @@ func TestQueueWaitDeadline(t *testing.T) {
 	if !errors.As(err, &oe) || oe.Reason != "queue wait exceeded" {
 		t.Fatalf("err = %v, want queue-wait OverloadError", err)
 	}
-	if oe.RetryAfter != 10*time.Millisecond {
-		t.Fatalf("RetryAfter = %v, want MaxWait", oe.RetryAfter)
+	// The hint is sized from MaxWait but floored at 1s: a 10ms hint would
+	// round to a zero Retry-After header.
+	if oe.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want clamped 1s", oe.RetryAfter)
+	}
+}
+
+// TestRetryAfterClamped is the regression table for the zero/negative
+// Retry-After bug class: every refusal path whose sized hint can compute to
+// under a second — most acutely a queued request whose deadline had already
+// elapsed at shed time, where the "time remaining" hint is negative — must
+// surface an OverloadError with RetryAfter ≥ 1s.
+func TestRetryAfterClamped(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	cases := []struct {
+		name   string
+		reason string
+		setup  func(t *testing.T) (*Controller, context.Context)
+	}{
+		{
+			name:   "expired deadline shed",
+			reason: "deadline elapsed before admission",
+			setup: func(t *testing.T) (*Controller, context.Context) {
+				c := New(Options{MaxConcurrent: 1})
+				rel, _, err := c.Admit(context.Background(), "t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(rel)
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+				t.Cleanup(cancel)
+				return c, ctx
+			},
+		},
+		{
+			name:   "queue wait exceeded",
+			reason: "queue wait exceeded",
+			setup: func(t *testing.T) (*Controller, context.Context) {
+				c := New(Options{MaxConcurrent: 1, MaxWait: 5 * time.Millisecond})
+				rel, _, err := c.Admit(context.Background(), "t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(rel)
+				return c, testCtx(t)
+			},
+		},
+		{
+			name:   "tenant refill sliver",
+			reason: "tenant budget exhausted",
+			setup: func(t *testing.T) (*Controller, context.Context) {
+				// Rate 500/s: the refill hint after a spent burst is 2ms.
+				c := New(Options{TenantRate: 500, TenantBurst: 1, now: func() time.Time { return clock }})
+				rel, _, err := c.Admit(context.Background(), "t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				rel()
+				return c, testCtx(t)
+			},
+		},
+		{
+			name:   "no queue at capacity",
+			reason: "at capacity",
+			setup: func(t *testing.T) (*Controller, context.Context) {
+				c := New(Options{MaxConcurrent: 1, MaxQueue: -1})
+				rel, _, err := c.Admit(context.Background(), "t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(rel)
+				return c, testCtx(t)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, ctx := tc.setup(t)
+			_, _, err := c.Admit(ctx, "t")
+			var oe *OverloadError
+			if !errors.As(err, &oe) || !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("err = %v, want OverloadError", err)
+			}
+			if oe.Reason != tc.reason {
+				t.Fatalf("Reason = %q, want %q", oe.Reason, tc.reason)
+			}
+			if oe.RetryAfter < time.Second {
+				t.Fatalf("RetryAfter = %v, want ≥ 1s", oe.RetryAfter)
+			}
+		})
 	}
 }
 

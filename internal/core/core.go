@@ -123,6 +123,15 @@ type Stats struct {
 	// dominance memo, the per-search effectiveness measure of the
 	// arena-backed memoization.
 	SolverMemoHits int64
+	// SolverSharedMemoHits is the number of nodes pruned by the parallel
+	// solver's cross-job shared memo tier, summed over the repetend
+	// instance solves (disjoint from SolverMemoHits; zero when the solves
+	// ran single-threaded).
+	SolverSharedMemoHits int64
+	// SolverJobsStolen is the number of oversized root-split jobs the
+	// parallel solver deterministically re-split, summed over the repetend
+	// instance solves.
+	SolverJobsStolen int64
 	// PeriodProbes is the total number of period-feasibility probes (one
 	// difference-constraint fixpoint computation each) the repetend
 	// evaluations ran — across the order-independent relaxation checks,
@@ -415,6 +424,8 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 		pruned      atomic.Int64
 		nodes       atomic.Int64
 		memoHits    atomic.Int64
+		sharedHits  atomic.Int64
+		jobsStolen  atomic.Int64
 		periodProbe atomic.Int64
 		periodRelax atomic.Int64
 		lsSwaps     atomic.Int64
@@ -493,6 +504,8 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 				solved.Add(1)
 				nodes.Add(r.SolverNodes)
 				memoHits.Add(r.SolverMemoHits)
+				sharedHits.Add(r.SolverSharedMemoHits)
+				jobsStolen.Add(r.SolverJobsStolen)
 				periodProbe.Add(r.PeriodProbes)
 				periodRelax.Add(r.PeriodRelaxations)
 				lsSwaps.Add(r.LocalSearchSwaps)
@@ -589,6 +602,8 @@ func sweepNR(ctx context.Context, p *sched.Placement, nr int, st *sweepState, re
 	res.Stats.Pruned += int(pruned.Load())
 	res.Stats.SolverNodes += nodes.Load()
 	res.Stats.SolverMemoHits += memoHits.Load()
+	res.Stats.SolverSharedMemoHits += sharedHits.Load()
+	res.Stats.SolverJobsStolen += jobsStolen.Load()
 	res.Stats.PeriodProbes += periodProbe.Load()
 	res.Stats.PeriodRelaxations += periodRelax.Load()
 	res.Stats.LocalSearchSwaps += lsSwaps.Load()

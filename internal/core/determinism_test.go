@@ -133,6 +133,54 @@ func TestSearchDeterministicAcrossSolverWorkers(t *testing.T) {
 	}
 }
 
+// TestSearchSolverCountersAcrossWorkers pins the meaning of the aggregated
+// solver counters: Stats.SolverNodes is "unique nodes expanded", so a job
+// the parallel solver replays — a budget reconcile re-solve or a split
+// sub-job re-search — must not count its first pass again. The observable
+// contract is that every solver counter (nodes, both memo tiers, splits)
+// is identical for every SolverWorkers value ≥ 1, including odd counts
+// that leave the job cursor mid-batch.
+//
+// MaxAssignments: 1 keeps the sweep itself out of the comparison: an
+// unrestricted sweep's workers read the live incumbent as each solve's
+// period bound, so which assignments are bound-pruned — and with them the
+// summed effort counters — legitimately varies with solve timing (the
+// sweep collector documents this for Solved/Pruned). With one assignment
+// per repetend size there is a single solve in flight at a time and every
+// bound is the post-judge incumbent of the previous size, so the totals
+// isolate exactly the per-solve counter contract this test is about.
+func TestSearchSolverCountersAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-solve sweeps are slow in -short mode")
+	}
+	p := shape(t, "x-shape", 4)
+	opts := Options{N: 6, MaxNR: 2, MaxAssignments: 1, Workers: 1, SolverWorkers: 1}
+	base, err := Search(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.SolverNodes == 0 {
+		t.Fatalf("baseline sweep expanded no solver nodes: %+v", base.Stats)
+	}
+	for _, sw := range []int{2, 3, 5, 8} {
+		opts.SolverWorkers = sw
+		res, err := Search(context.Background(), p, opts)
+		if err != nil {
+			t.Fatalf("solver workers=%d: %v", sw, err)
+		}
+		if res.Stats.SolverNodes != base.Stats.SolverNodes ||
+			res.Stats.SolverMemoHits != base.Stats.SolverMemoHits ||
+			res.Stats.SolverSharedMemoHits != base.Stats.SolverSharedMemoHits ||
+			res.Stats.SolverJobsStolen != base.Stats.SolverJobsStolen {
+			t.Fatalf("solver workers=%d: counters differ from workers=1:\nnodes %d/%d memo %d/%d shared %d/%d stolen %d/%d",
+				sw, res.Stats.SolverNodes, base.Stats.SolverNodes,
+				res.Stats.SolverMemoHits, base.Stats.SolverMemoHits,
+				res.Stats.SolverSharedMemoHits, base.Stats.SolverSharedMemoHits,
+				res.Stats.SolverJobsStolen, base.Stats.SolverJobsStolen)
+		}
+	}
+}
+
 // TestSearchIncumbentPrunesSweep checks that the shared incumbent actually
 // bites on a pruning-friendly placement: a default m-shape search must
 // discard a substantial share of its assignments without solving them.

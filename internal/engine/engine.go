@@ -170,6 +170,13 @@ type Stats struct {
 	Degraded uint64
 	// Restored counts cache entries loaded from a snapshot since boot.
 	Restored uint64
+	// SharedMemoHits is the total number of solver nodes pruned by the
+	// parallel solver's cross-job shared memo tier, accumulated over every
+	// search this engine led (zero when solves run single-threaded).
+	SharedMemoHits uint64
+	// JobsStolen is the total number of oversized root-split solver jobs
+	// deterministically re-split across every search this engine led.
+	JobsStolen uint64
 	// Entries is the current number of cached results.
 	Entries int
 }
@@ -223,6 +230,11 @@ type Engine struct {
 	shed      uint64
 	degraded  uint64
 	restored  uint64
+	// sharedMemoHits/jobsStolen accumulate the parallel-solver counters of
+	// every search this engine led (cache hits replay the originating
+	// search's Stats and are deliberately not re-counted here).
+	sharedMemoHits uint64
+	jobsStolen     uint64
 }
 
 // cacheEntry is the value stored in the LRU list.
@@ -405,6 +417,10 @@ func (e *Engine) lead(ctx context.Context, key, fingerprint string, fc *flightCa
 		fc.res, fc.err = res, err
 		e.mu.Lock()
 		delete(e.flight, key)
+		if err == nil && res != nil {
+			e.sharedMemoHits += uint64(res.Stats.SolverSharedMemoHits)
+			e.jobsStolen += uint64(res.Stats.SolverJobsStolen)
+		}
 		if err == nil && !fc.degraded {
 			// Degraded results are deliberately not cached: they are
 			// load-shaped, not search-shaped, and pinning one would keep
@@ -467,16 +483,18 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Stats{
-		Hits:      e.hits,
-		Misses:    e.misses,
-		Shared:    e.shared,
-		Evictions: e.evictions,
-		Admitted:  e.admitted,
-		Queued:    e.queued,
-		Shed:      e.shed,
-		Degraded:  e.degraded,
-		Restored:  e.restored,
-		Entries:   len(e.entries),
+		Hits:           e.hits,
+		Misses:         e.misses,
+		Shared:         e.shared,
+		Evictions:      e.evictions,
+		Admitted:       e.admitted,
+		Queued:         e.queued,
+		Shed:           e.shed,
+		Degraded:       e.degraded,
+		Restored:       e.restored,
+		SharedMemoHits: e.sharedMemoHits,
+		JobsStolen:     e.jobsStolen,
+		Entries:        len(e.entries),
 	}
 }
 

@@ -1,10 +1,12 @@
 // Crash-safe persistence of the repetend cache. A snapshot is a single
 // file:
 //
-//	TESSEL-SNAPSHOT v1 <sha256-hex-of-body>\n
+//	TESSEL-SNAPSHOT v2 <sha256-hex-of-body>\n
 //	{ JSON body }
 //
-// The body holds every cache entry in MRU→LRU order: the request key, the
+// The body holds every cache entry in MRU→LRU order, each stamped with its
+// explicit recency rank (v1 bodies, still readable, relied on file order
+// alone): the request key, the
 // placement in the canonical sched interchange encoding, the repetend's
 // full numeric state, and the four phase schedules as (stage, micro,
 // start) triples. Restore re-validates everything it reads — the checksum
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"tessel/internal/core"
@@ -42,8 +45,13 @@ import (
 // bumped on any incompatible body change, and a mismatch skips the whole
 // snapshot (a cold start) rather than guessing.
 const (
-	snapshotMagic   = "TESSEL-SNAPSHOT"
-	snapshotVersion = 1
+	snapshotMagic = "TESSEL-SNAPSHOT"
+	// snapshotVersion 2 added the per-entry Recency stamp: v1 encoded the
+	// LRU order only implicitly in entry file order, which any re-marshal
+	// or hand-merge of the JSON body silently destroyed. v1 snapshots are
+	// still readable (restore falls back to file order).
+	snapshotVersion    = 2
+	snapshotVersionMin = 1
 )
 
 // snapshotBody is the checksummed JSON payload.
@@ -56,7 +64,12 @@ type snapshotBody struct {
 // canonical interchange encoding; the schedules reference its stages by
 // index.
 type snapshotEntry struct {
-	Key        string           `json:"key"`
+	Key string `json:"key"`
+	// Recency is the entry's explicit LRU rank at snapshot time: 0 is the
+	// most recently used entry, larger is colder. Restore replays this
+	// order rather than trusting the file order of the entries array
+	// (absent in v1 bodies, where file order is the only signal).
+	Recency    int              `json:"recency"`
 	Placement  json.RawMessage  `json:"placement"`
 	Repetend   snapshotRepetend `json:"repetend"`
 	LowerBound int              `json:"lower_bound"`
@@ -73,20 +86,22 @@ type snapshotEntry struct {
 // snapshotRepetend mirrors repetend.Repetend minus its placement pointer
 // (restored from the entry's embedded placement).
 type snapshotRepetend struct {
-	Assign            []int `json:"assign"`
-	NR                int   `json:"nr"`
-	Starts            []int `json:"starts"`
-	Period            int   `json:"period"`
-	SimplePeriod      int   `json:"simple_period"`
-	Spans             []int `json:"spans"`
-	Waits             []int `json:"waits"`
-	EntryMem          []int `json:"entry_mem"`
-	SolverNodes       int64 `json:"solver_nodes"`
-	SolverMemoHits    int64 `json:"solver_memo_hits"`
-	Truncated         bool  `json:"truncated"`
-	PeriodProbes      int64 `json:"period_probes"`
-	PeriodRelaxations int64 `json:"period_relaxations"`
-	LocalSearchSwaps  int64 `json:"local_search_swaps"`
+	Assign               []int `json:"assign"`
+	NR                   int   `json:"nr"`
+	Starts               []int `json:"starts"`
+	Period               int   `json:"period"`
+	SimplePeriod         int   `json:"simple_period"`
+	Spans                []int `json:"spans"`
+	Waits                []int `json:"waits"`
+	EntryMem             []int `json:"entry_mem"`
+	SolverNodes          int64 `json:"solver_nodes"`
+	SolverMemoHits       int64 `json:"solver_memo_hits"`
+	SolverSharedMemoHits int64 `json:"solver_shared_memo_hits"`
+	SolverJobsStolen     int64 `json:"solver_jobs_stolen"`
+	Truncated            bool  `json:"truncated"`
+	PeriodProbes         int64 `json:"period_probes"`
+	PeriodRelaxations    int64 `json:"period_relaxations"`
+	LocalSearchSwaps     int64 `json:"local_search_swaps"`
 }
 
 // snapshotItem is one scheduled block, matching the item triple of the
@@ -117,6 +132,7 @@ func (e *Engine) SnapshotTo(w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("engine: snapshot entry %s: %w", keys[i], err)
 		}
+		entry.Recency = i // 0 = MRU; results were walked front-to-back
 		body.Entries = append(body.Entries, entry)
 	}
 	payload, err := json.Marshal(body)
@@ -146,8 +162,9 @@ func (e *Engine) RestoreFrom(r io.Reader) (int, error) {
 	if len(fields) != 3 || fields[0] != snapshotMagic {
 		return 0, fmt.Errorf("engine: not a tessel snapshot (header %q)", strings.TrimSpace(header))
 	}
-	if fields[1] != fmt.Sprintf("v%d", snapshotVersion) {
-		return 0, fmt.Errorf("engine: unsupported snapshot version %s (want v%d)", fields[1], snapshotVersion)
+	version := 0
+	if _, err := fmt.Sscanf(fields[1], "v%d", &version); err != nil || version < snapshotVersionMin || version > snapshotVersion {
+		return 0, fmt.Errorf("engine: unsupported snapshot version %s (want v%d..v%d)", fields[1], snapshotVersionMin, snapshotVersion)
 	}
 	payload, err := io.ReadAll(br)
 	if err != nil {
@@ -161,14 +178,33 @@ func (e *Engine) RestoreFrom(r io.Reader) (int, error) {
 	if err := json.Unmarshal(payload, &body); err != nil {
 		return 0, fmt.Errorf("engine: snapshot body: %w", err)
 	}
-	if body.Version != snapshotVersion {
-		return 0, fmt.Errorf("engine: unsupported snapshot body version %d (want %d)", body.Version, snapshotVersion)
+	if body.Version != version {
+		return 0, fmt.Errorf("engine: snapshot body version %d does not match header v%d", body.Version, version)
+	}
+
+	// Replay order: v2 bodies carry an explicit per-entry Recency rank
+	// (0 = MRU), so the restore order survives any rewrite that shuffled
+	// the entries array. v1 bodies only have file order (MRU-first), so
+	// their index is the rank. Either way, insert coldest-first so
+	// PushFront leaves the MRU entry at the front — and so that a restore
+	// into a smaller cache evicts the coldest entries, not an arbitrary
+	// marshal-order suffix.
+	order := make([]int, len(body.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	if version >= 2 {
+		sort.SliceStable(order, func(a, b int) bool {
+			return body.Entries[order[a]].Recency > body.Entries[order[b]].Recency
+		})
+	} else {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
 	}
 
 	restored := 0
-	// Insert LRU-first so PushFront leaves the MRU entry at the front,
-	// preserving the recency order the snapshot recorded.
-	for i := len(body.Entries) - 1; i >= 0; i-- {
+	for _, i := range order {
 		entry := &body.Entries[i]
 		res, err := decodeEntry(entry)
 		if err != nil {
@@ -247,20 +283,22 @@ func encodeEntry(key string, res *core.Result) (snapshotEntry, error) {
 		Key:       key,
 		Placement: json.RawMessage(pbuf.Bytes()),
 		Repetend: snapshotRepetend{
-			Assign:            r.Assign,
-			NR:                r.NR,
-			Starts:            r.Starts,
-			Period:            r.Period,
-			SimplePeriod:      r.SimplePeriod,
-			Spans:             r.Spans,
-			Waits:             r.Waits,
-			EntryMem:          r.EntryMem,
-			SolverNodes:       r.SolverNodes,
-			SolverMemoHits:    r.SolverMemoHits,
-			Truncated:         r.Truncated,
-			PeriodProbes:      r.PeriodProbes,
-			PeriodRelaxations: r.PeriodRelaxations,
-			LocalSearchSwaps:  r.LocalSearchSwaps,
+			Assign:               r.Assign,
+			NR:                   r.NR,
+			Starts:               r.Starts,
+			Period:               r.Period,
+			SimplePeriod:         r.SimplePeriod,
+			Spans:                r.Spans,
+			Waits:                r.Waits,
+			EntryMem:             r.EntryMem,
+			SolverNodes:          r.SolverNodes,
+			SolverMemoHits:       r.SolverMemoHits,
+			SolverSharedMemoHits: r.SolverSharedMemoHits,
+			SolverJobsStolen:     r.SolverJobsStolen,
+			Truncated:            r.Truncated,
+			PeriodProbes:         r.PeriodProbes,
+			PeriodRelaxations:    r.PeriodRelaxations,
+			LocalSearchSwaps:     r.LocalSearchSwaps,
 		},
 		LowerBound: res.LowerBound,
 		BubbleRate: res.BubbleRate,
@@ -318,21 +356,23 @@ func decodeEntry(entry *snapshotEntry) (*core.Result, error) {
 		}
 	}
 	r := &repetend.Repetend{
-		P:                 p,
-		Assign:            repetend.Assignment(sr.Assign),
-		NR:                sr.NR,
-		Starts:            sr.Starts,
-		Period:            sr.Period,
-		SimplePeriod:      sr.SimplePeriod,
-		Spans:             sr.Spans,
-		Waits:             sr.Waits,
-		EntryMem:          sr.EntryMem,
-		SolverNodes:       sr.SolverNodes,
-		SolverMemoHits:    sr.SolverMemoHits,
-		Truncated:         sr.Truncated,
-		PeriodProbes:      sr.PeriodProbes,
-		PeriodRelaxations: sr.PeriodRelaxations,
-		LocalSearchSwaps:  sr.LocalSearchSwaps,
+		P:                    p,
+		Assign:               repetend.Assignment(sr.Assign),
+		NR:                   sr.NR,
+		Starts:               sr.Starts,
+		Period:               sr.Period,
+		SimplePeriod:         sr.SimplePeriod,
+		Spans:                sr.Spans,
+		Waits:                sr.Waits,
+		EntryMem:             sr.EntryMem,
+		SolverNodes:          sr.SolverNodes,
+		SolverMemoHits:       sr.SolverMemoHits,
+		SolverSharedMemoHits: sr.SolverSharedMemoHits,
+		SolverJobsStolen:     sr.SolverJobsStolen,
+		Truncated:            sr.Truncated,
+		PeriodProbes:         sr.PeriodProbes,
+		PeriodRelaxations:    sr.PeriodRelaxations,
+		LocalSearchSwaps:     sr.LocalSearchSwaps,
 	}
 	warm, err := decodeItems(p, entry.Warmup)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 
 	"tessel/internal/core"
 	"tessel/internal/faultpoint"
+	"tessel/internal/placement"
 	"tessel/internal/sched"
 )
 
@@ -185,9 +186,106 @@ func TestSnapshotCorruptAndTorn(t *testing.T) {
 func TestSnapshotVersionMismatch(t *testing.T) {
 	e, _ := warmEngine(t, Options{}, mshape(t))
 	snap := snapshotBytes(t, e)
-	future := bytes.Replace(snap, []byte(" v1 "), []byte(" v2 "), 1)
+	cur := fmt.Sprintf(" v%d ", snapshotVersion)
+	future := bytes.Replace(snap, []byte(cur), fmt.Appendf(nil, " v%d ", snapshotVersion+1), 1)
 	if n, err := New(Options{}).RestoreFrom(bytes.NewReader(future)); err == nil || n != 0 {
 		t.Fatalf("future version restored %d entries, err=%v", n, err)
+	}
+}
+
+// TestSnapshotRestoreEvictionOrder is the regression test for the recency
+// bug class the v2 format closes: restore must rebuild the exact LRU order
+// — even from a snapshot whose entries array was reordered by a rewrite,
+// which under v1's implicit file-order encoding silently became the new
+// recency — so the first eviction after a restore removes the entry that
+// was coldest *before* the snapshot, not whichever one the file order left
+// at the back.
+func TestSnapshotRestoreEvictionOrder(t *testing.T) {
+	// mshape searched first, vshape second: vshape is MRU, mshape is LRU.
+	e, _ := warmEngine(t, Options{}, mshape(t), vshape(t))
+	snap := snapshotBytes(t, e)
+
+	// Simulate a rewrite that shuffles the entries array (the v1 failure
+	// mode) and re-seal the body; the Recency stamps still record the true
+	// pre-snapshot order.
+	nl := bytes.IndexByte(snap, '\n')
+	var body snapshotBody
+	if err := json.Unmarshal(snap[nl+1:], &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Entries) != 2 {
+		t.Fatalf("snapshot holds %d entries, want 2", len(body.Entries))
+	}
+	body.Entries[0], body.Entries[1] = body.Entries[1], body.Entries[0]
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(payload)
+	shuffled := fmt.Appendf(nil, "%s v%d %s\n", snapshotMagic, snapshotVersion, hex.EncodeToString(sum[:]))
+	shuffled = append(shuffled, payload...)
+
+	fresh := New(Options{CacheSize: 2})
+	if n, err := fresh.RestoreFrom(bytes.NewReader(shuffled)); err != nil || n != 2 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+
+	// Evict immediately: a third cold search displaces exactly one entry,
+	// and the victim must be the pre-snapshot LRU (mshape) — so vshape
+	// must still be a hit afterwards.
+	third, err := placement.MShape(placement.Config{Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := fresh.Search(context.Background(), third, core.Options{N: 4}); err != nil || info.Hit {
+		t.Fatalf("third search: info=%+v err=%v", info, err)
+	}
+	st := fresh.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	if _, info, err := fresh.Search(context.Background(), vshape(t), core.Options{N: 8}); err != nil || !info.Hit {
+		t.Fatalf("pre-snapshot MRU entry was the eviction victim: info=%+v err=%v", info, err)
+	}
+}
+
+// TestSnapshotReadsV1: a v1-format snapshot (no meaningful recency stamps,
+// MRU-first file order only) still restores, keeping the file-order
+// recency — old snapshots survive the v2 upgrade as warm starts.
+func TestSnapshotReadsV1(t *testing.T) {
+	e, fps := warmEngine(t, Options{}, mshape(t), vshape(t))
+	snap := snapshotBytes(t, e)
+
+	nl := bytes.IndexByte(snap, '\n')
+	var body snapshotBody
+	if err := json.Unmarshal(snap[nl+1:], &body); err != nil {
+		t.Fatal(err)
+	}
+	body.Version = 1
+	for i := range body.Entries {
+		body.Entries[i].Recency = 0
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(payload)
+	v1 := fmt.Appendf(nil, "%s v1 %s\n", snapshotMagic, hex.EncodeToString(sum[:]))
+	v1 = append(v1, payload...)
+
+	small := New(Options{CacheSize: 1})
+	if _, err := small.RestoreFrom(bytes.NewReader(v1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := small.Stats(); st.Entries != 1 {
+		t.Fatalf("cap-1 cache holds %d entries", st.Entries)
+	}
+	res, info, err := small.Search(context.Background(), vshape(t), core.Options{N: 8})
+	if err != nil || !info.Hit {
+		t.Fatalf("v1 restore lost the MRU entry: info=%+v err=%v", info, err)
+	}
+	if got := sched.FingerprintSchedule(res.Full); got != fps[1] {
+		t.Fatalf("kept entry fingerprint %s != vshape original %s", got, fps[1])
 	}
 }
 

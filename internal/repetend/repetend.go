@@ -217,6 +217,14 @@ type Repetend struct {
 	// SolverMemoHits is the number of those nodes pruned by the solver's
 	// dominance memo.
 	SolverMemoHits int64
+	// SolverSharedMemoHits is the number of nodes pruned by the parallel
+	// solver's cross-job shared memo tier (disjoint from SolverMemoHits;
+	// zero on single-threaded solves).
+	SolverSharedMemoHits int64
+	// SolverJobsStolen is the number of root-split jobs the parallel
+	// solver re-split at a deterministic depth after they overran their
+	// first-pass node cap (zero on single-threaded or budgeted solves).
+	SolverJobsStolen int64
 	// Truncated is true when the instance makespan solve exhausted a node
 	// or wall-clock budget and fell back to its incumbent, so Starts (and
 	// the derived period) are budget-degraded rather than proven optimal.
@@ -454,6 +462,8 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 		starts      []int
 		nodes       int64
 		memoHits    int64
+		sharedHits  int64
+		jobsStolen  int64
 		optimal     = true
 		feasible    bool
 		hit         bool
@@ -493,6 +503,7 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 			return nil, err
 		}
 		nodes, memoHits = res.Nodes, res.MemoHits
+		sharedHits, jobsStolen = res.SharedMemoHits, res.JobsStolen
 		optimal, feasible, boundPruned = res.Optimal, res.Feasible, res.BoundPruned
 		if feasible {
 			starts = append([]int(nil), res.Starts...) // stage order
@@ -514,13 +525,15 @@ func Solve(ctx context.Context, p *sched.Placement, a Assignment, opts SolveOpti
 		return nil, fmt.Errorf("%w: %s", verdict, detail)
 	}
 	r := &Repetend{
-		P:              p,
-		Assign:         a.Clone(),
-		NR:             maxOf(a) + 1,
-		EntryMem:       entry,
-		SolverNodes:    nodes,
-		SolverMemoHits: memoHits,
-		Truncated:      !optimal,
+		P:                    p,
+		Assign:               a.Clone(),
+		NR:                   maxOf(a) + 1,
+		EntryMem:             entry,
+		SolverNodes:          nodes,
+		SolverMemoHits:       memoHits,
+		SolverSharedMemoHits: sharedHits,
+		SolverJobsStolen:     jobsStolen,
+		Truncated:            !optimal,
 	}
 	normalize(starts)
 	r.SimplePeriod = makespanOf(p, starts)

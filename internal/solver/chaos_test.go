@@ -58,6 +58,65 @@ func TestChaosParallelWorkerPanic(t *testing.T) {
 	}
 }
 
+// TestChaosSharedTierPanicAfterPublish injects a panic into a job that runs
+// *after* earlier jobs have published entries to the shared memo tier (the
+// fault point fires at every job start; letting the first batch plus part of
+// the second pass guarantees batch-0 promotions happened). The panic must
+// still surface on the Solve caller's goroutine, and — the torn-epoch check
+// — follower solves must be byte-identical to a never-faulted run: the tier
+// dies with the solve (it is per-solve state, mutated only between batches),
+// so no partially promoted epoch can leak into later solves or workers.
+func TestChaosSharedTierPanicAfterPublish(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	tasks := vshapeTasks(t, 4)
+	clean, err := Solve(context.Background(), tasks, Options{Workers: 2})
+	if err != nil || !clean.Optimal {
+		t.Fatalf("baseline solve: res=%+v err=%v", clean, err)
+	}
+	if clean.SharedMemoHits == 0 {
+		t.Fatalf("baseline solve never hit the shared tier; the fault would not cover publication: %+v", clean)
+	}
+
+	// Fire on the 6th job start: batches ramp 4, 8, …, so jobs 0–3 have
+	// completed, promoted into the tier, and job 5 (batch 1, running after
+	// the promotion barrier) is past a tier publication when it panics.
+	var calls atomic.Int64
+	faultpoint.Arm(faultpoint.SolverParallelJob, func() error {
+		if calls.Add(1) == 6 {
+			return errors.New("injected post-publish fault")
+		}
+		return nil
+	})
+
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		_, _ = Solve(context.Background(), tasks, Options{Workers: 2})
+		return nil
+	}()
+	if recovered == nil {
+		t.Fatal("post-publish panic did not propagate to the Solve caller")
+	}
+	rerr, ok := recovered.(error)
+	if !ok || !strings.Contains(rerr.Error(), "injected post-publish fault") {
+		t.Fatalf("recovered value %v lost the fault", recovered)
+	}
+	faultpoint.Disarm(faultpoint.SolverParallelJob)
+
+	// Follower solves across worker counts: byte-identical to the baseline,
+	// including the shared-tier counters — a torn epoch (a tier surviving
+	// the fault with a partial batch promoted) would skew SharedMemoHits.
+	for _, w := range []int{1, 2, 4} {
+		res, err := Solve(context.Background(), tasks, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("post-fault workers=%d: %v", w, err)
+		}
+		res.Elapsed = clean.Elapsed
+		if !reflect.DeepEqual(res, clean) {
+			t.Fatalf("post-fault workers=%d differs from baseline:\n%+v\nvs\n%+v", w, res, clean)
+		}
+	}
+}
+
 // TestChaosSolveFaultReturnsError: an armed error (not panic) at the solve
 // entry surfaces as an ordinary Solve error, proving the injection point
 // sits on the regular error path and costs nothing when disarmed.

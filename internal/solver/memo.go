@@ -249,6 +249,83 @@ func (m *memoTable) probe(mask []uint64, vec []uint64, vsum int64, sketch uint64
 	return false
 }
 
+// probeRO is the read-only variant of probe for the shared memo tier: it
+// answers the same dominance question but writes no probe cache, so any
+// number of worker searchers may call it concurrently on an immutable
+// table. It must never be followed by insert (insert consumes the cache
+// probe leaves behind); the shared tier is mutated only between batches,
+// on the coordinator, via probe/insert pairs.
+//
+//tessel:noalloc
+func (m *memoTable) probeRO(mask []uint64, vec []uint64, vsum int64, sketch uint64) bool {
+	if m.size == 0 {
+		return false
+	}
+	hash := hashMask(mask)
+	idx, found := m.findSlot(mask, hash)
+	if !found {
+		return false
+	}
+	sl := &m.slots[idx]
+	vlen := sl.vlen
+	for e := sl.head; e >= 0; {
+		ent := &m.entries[e]
+		if ent.sum > vsum {
+			break
+		}
+		if sketchLE(ent.sketch, sketch) && dominates(m.vecs[ent.off:ent.off+vlen], vec) {
+			return true
+		}
+		e = ent.next
+	}
+	return false
+}
+
+// forEach visits every live entry as (mask, vec, sum, sketch), stopping
+// early when fn returns false. The visit order — slots ascending, each
+// key's chain head-to-tail — is a pure function of the table's insert
+// sequence (hash layout and chain splicing depend only on the inserts),
+// so extraction for shared-tier promotion is deterministic whenever the
+// producing search is. The yielded slices alias table storage and must
+// not be retained across mutations.
+func (m *memoTable) forEach(fn func(mask, vec []uint64, sum int64, sketch uint64) bool) {
+	var kbuf [1]uint64
+	for i := range m.slots {
+		sl := &m.slots[i]
+		if sl.gen != m.gen || sl.head < 0 {
+			continue
+		}
+		var mask []uint64
+		if m.maskWords == 1 {
+			kbuf[0] = sl.key64
+			mask = kbuf[:1]
+		} else {
+			mask = m.masks[sl.maskOff : int(sl.maskOff)+m.maskWords]
+		}
+		for e := sl.head; e >= 0; e = m.entries[e].next {
+			ent := &m.entries[e]
+			if !fn(mask, m.vecs[ent.off:ent.off+sl.vlen], ent.sum, ent.sketch) {
+				return
+			}
+		}
+	}
+}
+
+// absorb merges every entry of src into m with the probe/insert discipline
+// of the search itself: an entry dominated by what m already holds is
+// skipped, an admitted entry evicts the stored entries it dominates, and
+// memoCap still bounds growth. Called only on the coordinator between
+// batches (promotion) and before the first batch (expansion-memo seeding),
+// so the probe cache coupling probe/insert rely on is safe.
+func (m *memoTable) absorb(src *memoTable) {
+	src.forEach(func(mask, vec []uint64, sum int64, sketch uint64) bool {
+		if !m.probe(mask, vec, sum, sketch) {
+			m.insert(mask, vec, sum, sketch)
+		}
+		return m.size < memoCap
+	})
+}
+
 // insert records the vector of the probe that just missed, evicting the
 // stored vectors it dominates (their entries are recycled; their arena
 // ranges are reclaimed only by the next reset) and keeping the chain

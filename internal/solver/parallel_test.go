@@ -28,11 +28,11 @@ func vshapeTasks(t testing.TB, n int) []Task {
 
 // TestParallelSolveByteIdentical is the core contract of the root-split
 // search: for every Workers value ≥ 1 the full Result — starts, makespan,
-// verdict flags, and (because the greedy seed is optimal on these v-shape
-// instances, so no job improves mid-flight) the Nodes/MemoHits counters —
-// must be byte-identical, and the makespan must match the single-threaded
-// solve. Run under -race in CI this also exercises the shared incumbent and
-// the job cursor for data races.
+// verdict flags, and every effort counter (cross-job improvements are
+// visible only at batch boundaries, so the counters do not depend on
+// publication timing) — must be byte-identical, and the makespan must
+// match the single-threaded solve. Run under -race in CI this also
+// exercises the shared incumbent and the job cursor for data races.
 func TestParallelSolveByteIdentical(t *testing.T) {
 	sizes := []int{2, 4}
 	if !testing.Short() {
@@ -49,7 +49,7 @@ func TestParallelSolveByteIdentical(t *testing.T) {
 				t.Fatalf("nmb%d mem=%d: serial solve not optimal: %+v", n, mem, serial)
 			}
 			var ref Result
-			for _, w := range []int{1, 2, 4, 8} {
+			for _, w := range []int{1, 2, 3, 4, 5, 8} {
 				res, err := Solve(context.Background(), tasks, Options{Memory: mem, Workers: w})
 				if err != nil {
 					t.Fatalf("nmb%d mem=%d workers=%d: %v", n, mem, w, err)
@@ -82,7 +82,7 @@ func TestParallelSolveTruncation(t *testing.T) {
 	tasks := vshapeTasks(t, 4)
 	for _, budget := range []int64{50, 500, 3000} {
 		var ref Result
-		for _, w := range []int{1, 2, 4, 8} {
+		for _, w := range []int{1, 2, 3, 4, 5, 8} {
 			res, err := Solve(context.Background(), tasks, Options{MaxNodes: budget, Workers: w})
 			if err != nil {
 				t.Fatalf("budget=%d workers=%d: %v", budget, w, err)
@@ -106,6 +106,95 @@ func TestParallelSolveTruncation(t *testing.T) {
 		// must actually exercise the truncation path.
 		if budget < 8000 && ref.Optimal {
 			t.Fatalf("budget=%d: expected a truncated solve, got Optimal", budget)
+		}
+	}
+}
+
+// TestParallelSharedMemoTier pins the tentpole behaviors of the shared memo
+// tier: jobs mode actually hits it (SharedMemoHits > 0 — cross-job reuse is
+// the mechanism that closed the 9.3× node gap), the two tiers stay disjoint
+// counters, and the totals are identical across worker counts (covered by
+// the byte-identity test, re-asserted here on the counters specifically).
+func TestParallelSharedMemoTier(t *testing.T) {
+	tasks := vshapeTasks(t, 4)
+	serial, err := Solve(context.Background(), tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref Result
+	for _, w := range []int{1, 2, 3, 8} {
+		res, err := Solve(context.Background(), tasks, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.SharedMemoHits == 0 {
+			t.Fatalf("workers=%d: SharedMemoHits = 0; the shared tier never pruned", w)
+		}
+		if w == 1 {
+			ref = res
+			continue
+		}
+		if res.SharedMemoHits != ref.SharedMemoHits || res.MemoHits != ref.MemoHits || res.Nodes != ref.Nodes {
+			t.Fatalf("workers=%d: counters differ from workers=1: nodes %d/%d memo %d/%d shared %d/%d",
+				w, res.Nodes, ref.Nodes, res.MemoHits, ref.MemoHits, res.SharedMemoHits, ref.SharedMemoHits)
+		}
+	}
+	if serial.SharedMemoHits != 0 || serial.JobsStolen != 0 {
+		t.Fatalf("single-threaded solve reported parallel counters: %+v", serial)
+	}
+	// The node-gap target itself, on the instance the 9.3x gap was measured
+	// on: nmb6 jobs mode must stay within 2x of the sequential engine
+	// (617,665 vs 66,250 nodes before the tier; ~1.2x after).
+	if !testing.Short() {
+		big := vshapeTasks(t, 6)
+		seq, err := Solve(context.Background(), big, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Solve(context.Background(), big, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Nodes > 2*seq.Nodes {
+			t.Fatalf("nmb6 jobs mode expanded %d nodes, more than 2x the sequential %d", par.Nodes, seq.Nodes)
+		}
+	}
+}
+
+// TestParallelSplitOversizedJobs forces the deterministic work-stealing
+// path by lowering the first-pass node cap: oversized jobs must split into
+// sub-jobs (JobsStolen > 0) and the Result — schedule bytes and counters —
+// must remain byte-identical for every worker count, including odd ones
+// that leave the cursor mid-batch.
+func TestParallelSplitOversizedJobs(t *testing.T) {
+	saved := splitNodeCap
+	splitNodeCap = 64
+	defer func() { splitNodeCap = saved }()
+
+	tasks := vshapeTasks(t, 4)
+	serial, err := Solve(context.Background(), tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref Result
+	for _, w := range []int{1, 2, 3, 5, 8} {
+		res, err := Solve(context.Background(), tasks, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.JobsStolen == 0 {
+			t.Fatalf("workers=%d: JobsStolen = 0 under a 64-node cap", w)
+		}
+		if !res.Optimal || res.Makespan != serial.Makespan {
+			t.Fatalf("workers=%d: split solve degraded: %+v (serial makespan %d)", w, res, serial.Makespan)
+		}
+		if w == 1 {
+			ref = res
+			continue
+		}
+		res.Elapsed = ref.Elapsed
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("workers=%d: result differs from workers=1:\n%+v\nvs\n%+v", w, res, ref)
 		}
 	}
 }

@@ -147,9 +147,9 @@ type Options struct {
 	UpperBound int
 	// Workers, when ≥ 1, runs the optimizing search as a deterministic
 	// root-split across that many concurrent workers (parallel.go): the
-	// Result — Starts, Makespan, verdict flags, and the Nodes/MemoHits
-	// counters in the absence of mid-flight incumbent improvements — is
-	// byte-identical for every Workers value ≥ 1, including 1. Zero or
+	// Result — Starts, Makespan, verdict flags, and every effort counter
+	// (Nodes, both memo-hit tiers, JobsStolen) — is byte-identical for
+	// every Workers value ≥ 1, including 1. Zero or
 	// negative keeps the single-threaded search (whose equally-optimal
 	// schedule choice may differ from the split search's, since the
 	// dominance memo is partitioned differently). SatisfyOnly solves are
@@ -178,11 +178,26 @@ type Result struct {
 	Makespan int
 	// Starts holds the start time per task (parallel to the input slice).
 	Starts []int
-	// Nodes is the number of search nodes expanded.
+	// Nodes is the number of unique search nodes expanded: every counted
+	// node corresponds to one state the search processed exactly once in
+	// the reported total. The parallel paths preserve this meaning — a
+	// budget-reconciliation re-solve supersedes (not adds to) its first
+	// pass, and a split probe pass whose subtree is re-searched by
+	// sub-jobs is excluded — so Nodes is comparable across Workers
+	// settings and is the numerator of nodes-per-second rates.
 	Nodes int64
-	// MemoHits is the number of nodes pruned by the dominance memo — the
-	// per-solve effectiveness measure of the memoization.
+	// MemoHits is the number of nodes pruned by the job-private dominance
+	// memo — the per-solve effectiveness measure of the memoization.
 	MemoHits int64
+	// SharedMemoHits is the number of nodes pruned by the cross-job shared
+	// memo tier of the parallel search (disjoint from MemoHits; always 0
+	// on the single-threaded path and when the memo is disabled).
+	SharedMemoHits int64
+	// JobsStolen is the number of root-split jobs whose subtree the
+	// parallel search split further at a deterministic depth after the
+	// job overran its first-pass node cap — the work-stealing counter.
+	// Always 0 on the single-threaded path and on budgeted solves.
+	JobsStolen int64
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
 }
@@ -270,10 +285,18 @@ type searcher struct {
 	liveMask    []uint64
 	succUnsched []int32 // per task: number of unscheduled successors
 
-	memo        memoTable
-	memoHits    int64
-	vecScratch  []uint64 // scratch for packed dominance probes
-	sketchShift uint     // quantization shift for the memo sketch buckets
+	memo memoTable
+	// sharedTier, when non-nil, is the parallel solve's read-mostly shared
+	// memo tier: probed (read-only) before the private memo, immutable for
+	// the duration of a job batch, mutated only by the coordinator between
+	// batches. Hits are counted separately — the two tiers partition the
+	// memo prunes.
+	sharedTier     *memoTable
+	memoHits       int64
+	sharedMemoHits int64
+	jobsStolen     int64
+	vecScratch     []uint64 // scratch for packed dominance probes
+	sketchShift    uint     // quantization shift for the memo sketch buckets
 	// buckets holds the 8 partial sums of the dominance state (device
 	// availabilities bucketed by dev&7, finishes of scheduled tasks with
 	// successors by (d+task)&7), maintained incrementally by apply/undo so
@@ -297,8 +320,9 @@ type searcher struct {
 
 	// Parallel root-split state (parallel.go). pool lets the root searcher
 	// draw worker searchers from the pool that produced it; shared is the
-	// cross-worker incumbent (nil on the single-threaded path, so the hot
-	// bound checks pay one nil test); pathStack tracks the expansion prefix;
+	// cross-worker incumbent (publication only — pruning reads the frozen
+	// batchBound below, never the live atomic); pathStack tracks the
+	// expansion prefix;
 	// the pfx* buffers save per-depth undo state when a worker replays a
 	// job prefix; jobSeed* is the fixed incumbent seed restored per job.
 	pool            *Pool
@@ -310,6 +334,15 @@ type searcher struct {
 	pfxMaxTail      []int
 	jobSeedMakespan int
 	jobSeedSet      bool
+	// batchBound is the frozen cross-job pruning bound of the current job:
+	// the best verified makespan of strictly earlier batches, assigned by
+	// the coordinator when the job's batch is formed (pJob.bound). Jobs
+	// never read the live shared incumbent — visibility of cross-job
+	// improvements is batch-synchronous, like the shared memo tier — so a
+	// job's node count is a pure function of the job sequence, identical
+	// for every worker count. MaxInt/2 (no cross-job bound) outside
+	// parallel solves.
+	batchBound int
 
 	best       Result
 	bestStarts []int // incumbent start times, reused across improvements
@@ -362,6 +395,8 @@ func (s *searcher) solve(ctx context.Context, tasks []Task, opts Options) (Resul
 	}
 	s.best.Nodes = s.nodes
 	s.best.MemoHits = s.memoHits
+	s.best.SharedMemoHits = s.sharedMemoHits
+	s.best.JobsStolen = s.jobsStolen
 	s.best.Elapsed = time.Since(s.startTime)
 	s.best.Optimal = s.bestSet && !s.truncated && !(opts.SatisfyOnly)
 	if opts.SatisfyOnly && s.bestSet {
@@ -402,7 +437,7 @@ func (s *searcher) solve(ctx context.Context, tasks []Task, opts Options) (Resul
 func (s *searcher) releaseRefs() {
 	s.ctx, s.tasks = nil, nil
 	s.opts = Options{}
-	s.pool, s.shared = nil, nil
+	s.pool, s.shared, s.sharedTier = nil, nil, nil
 }
 
 // --- buffer reuse helpers --------------------------------------------------
@@ -656,7 +691,10 @@ func (s *searcher) reset(ctx context.Context, tasks []Task, opts Options) error 
 	if !opts.DisableMemo {
 		s.memo.reset(s.maskWords)
 	}
+	s.sharedTier = nil
 	s.memoHits = 0
+	s.sharedMemoHits = 0
+	s.jobsStolen = 0
 
 	// Frontier: initially the symmetry-unlocked roots.
 	s.frontPos = int32sN(s.frontPos, n)
@@ -696,6 +734,7 @@ func (s *searcher) reset(ctx context.Context, tasks []Task, opts Options) error 
 	if opts.UpperBound > 0 {
 		s.best.Makespan = opts.UpperBound
 	}
+	s.batchBound = math.MaxInt / 2
 	s.bestSet = false
 	s.nodes = 0
 	s.boundCut = false
@@ -756,18 +795,20 @@ func (s *searcher) cutByBound(lb int) bool {
 
 // cutoff reports whether a branch with lower bound lb cannot strictly
 // improve the incumbent. On the single-threaded path that is the local
-// incumbent alone; a parallel worker additionally prunes against the
-// shared incumbent — with a *strict* comparison, so branches that tie the
-// published makespan survive and every job still finds its first
-// optimal-makespan schedule in DFS order (the determinism of the merged
-// Starts vector rests on this).
+// incumbent alone; a parallel job additionally prunes against its frozen
+// batch bound (the best makespan of strictly earlier batches) — with a
+// *strict* comparison, so branches that tie the bound survive and every
+// job still finds its first optimal-makespan schedule in DFS order (the
+// determinism of the merged Starts vector rests on this). The bound is
+// deliberately not the live shared incumbent: a live read would make the
+// node count depend on publication timing, i.e. on the worker count.
 //
 //tessel:noalloc
 func (s *searcher) cutoff(lb int) bool {
 	if lb >= s.best.Makespan {
 		return true
 	}
-	return s.shared != nil && int64(lb) > s.shared.best.Load()
+	return lb > s.batchBound
 }
 
 //tessel:noalloc
@@ -1113,10 +1154,21 @@ func (s *searcher) prunedOrMemo() bool {
 	// into the memo iff its probe missed and pathBound kept the node — the
 	// same set of states the non-reordered search memoizes.
 	if !s.opts.DisableMemo {
+		// The shared tier (parallel solves only) is probed read-only right
+		// before the private memo: a shared hit means an earlier job's
+		// fully-explored subtree dominates this state, so the node is
+		// pruned without touching — or growing — the private memo. The two
+		// tiers therefore partition the memo prunes (MemoHits vs
+		// SharedMemoHits) and a state enters the private memo only when
+		// both tiers missed.
 		if s.bestSet && s.deadline == Unbounded {
 			vec := s.fillStateVector(s.vecScratch)
 			s.vecScratch = vec
 			sketch, vsum := s.sketchAndSum()
+			if s.sharedTier != nil && s.sharedTier.probeRO(s.mask, vec, vsum, sketch) {
+				s.sharedMemoHits++
+				return true
+			}
 			if s.memo.probe(s.mask, vec, vsum, sketch) {
 				s.memoHits++
 				return true
@@ -1132,6 +1184,10 @@ func (s *searcher) prunedOrMemo() bool {
 			vec := s.fillStateVector(s.vecScratch)
 			s.vecScratch = vec
 			sketch, vsum := s.sketchAndSum()
+			if s.sharedTier != nil && s.sharedTier.probeRO(s.mask, vec, vsum, sketch) {
+				s.sharedMemoHits++
+				return true
+			}
 			if s.memo.probe(s.mask, vec, vsum, sketch) {
 				s.memoHits++
 				return true
