@@ -54,7 +54,8 @@ type OverloadError struct {
 	Reason string
 	// RetryAfter is the suggested back-off before retrying.
 	RetryAfter time.Duration
-	// Tenant is set when the refusal came from a tenant budget.
+	// Tenant attributes the refusal to the requesting tenant; set by the
+	// tenant-budget and expired-deadline paths.
 	Tenant string
 }
 
@@ -149,6 +150,17 @@ func New(opts Options) *Controller {
 // the queue is deadline-aware, so a request that cannot be admitted before
 // its deadline never occupies a slot it could not use.
 func (c *Controller) Admit(ctx context.Context, tenant string) (release func(), queued bool, err error) {
+	// A request whose deadline has already elapsed can never use an
+	// admission, so shed it before it spends anything — checking up front
+	// keeps it from consuming a tenant token (or queue capacity) it could
+	// not use, and tags the refusal with the tenant so 429 telemetry is
+	// consistent with the budget path. Note the hint is NOT the (negative)
+	// time to its deadline: the clamp floors it at 1s.
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem <= 0 {
+			return nil, false, &OverloadError{Reason: "deadline elapsed before admission", RetryAfter: clampRetryAfter(rem), Tenant: tenant}
+		}
+	}
 	if c.buckets != nil {
 		if wait := c.buckets.take(tenant); wait > 0 {
 			return nil, false, &OverloadError{Reason: "tenant budget exhausted", RetryAfter: clampRetryAfter(wait), Tenant: tenant}
@@ -163,15 +175,6 @@ func (c *Controller) Admit(ctx context.Context, tenant string) (release func(), 
 		c.noteRunning()
 		return c.releaseSlot, false, nil
 	default:
-	}
-	// No free slot: queue, bounded and deadline-aware. A request whose
-	// deadline has already elapsed could never use a slot, so shed it now
-	// rather than letting it occupy queue capacity — and note the hint is
-	// NOT the (negative) time to its deadline: the clamp floors it at 1s.
-	if dl, ok := ctx.Deadline(); ok {
-		if rem := time.Until(dl); rem <= 0 {
-			return nil, false, &OverloadError{Reason: "deadline elapsed before admission", RetryAfter: clampRetryAfter(rem)}
-		}
 	}
 	if c.maxQ < 0 {
 		return nil, false, &OverloadError{Reason: "at capacity", RetryAfter: c.queueRetryAfter()}

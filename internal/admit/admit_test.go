@@ -112,6 +112,32 @@ func TestQueueWaitDeadline(t *testing.T) {
 	}
 }
 
+// TestExpiredDeadlineSpendsNothing: the expired-deadline shed runs before
+// tenant accounting — a request that can never run must not consume a
+// tenant token — and the refusal carries the tenant, keeping 429
+// telemetry consistent with the budget path.
+func TestExpiredDeadlineSpendsNothing(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	// Rate low enough that a burned token would not refill within the test.
+	c := New(Options{TenantRate: 0.001, TenantBurst: 1, now: func() time.Time { return clock }})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	_, _, err := c.Admit(ctx, "alice")
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "deadline elapsed before admission" {
+		t.Fatalf("err = %v, want expired-deadline shed", err)
+	}
+	if oe.Tenant != "alice" {
+		t.Fatalf("Tenant = %q, want %q", oe.Tenant, "alice")
+	}
+	// The shed burned no token: alice's full burst is still available.
+	rel, _, err := c.Admit(context.Background(), "alice")
+	if err != nil {
+		t.Fatalf("expired-deadline shed consumed the tenant token: %v", err)
+	}
+	rel()
+}
+
 // TestRetryAfterClamped is the regression table for the zero/negative
 // Retry-After bug class: every refusal path whose sized hint can compute to
 // under a second — most acutely a queued request whose deadline had already

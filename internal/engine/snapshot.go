@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tessel/internal/core"
@@ -162,8 +163,11 @@ func (e *Engine) RestoreFrom(r io.Reader) (int, error) {
 	if len(fields) != 3 || fields[0] != snapshotMagic {
 		return 0, fmt.Errorf("engine: not a tessel snapshot (header %q)", strings.TrimSpace(header))
 	}
-	version := 0
-	if _, err := fmt.Sscanf(fields[1], "v%d", &version); err != nil || version < snapshotVersionMin || version > snapshotVersion {
+	// Parse the version token strictly: Sscanf-style prefix parsing would
+	// accept a corrupt token like "v2garbage" as v2; requiring the token to
+	// round-trip also rejects "v+2" and "v02".
+	version, err := strconv.Atoi(strings.TrimPrefix(fields[1], "v"))
+	if err != nil || fields[1] != fmt.Sprintf("v%d", version) || version < snapshotVersionMin || version > snapshotVersion {
 		return 0, fmt.Errorf("engine: unsupported snapshot version %s (want v%d..v%d)", fields[1], snapshotVersionMin, snapshotVersion)
 	}
 	payload, err := io.ReadAll(br)

@@ -181,15 +181,25 @@ func TestSnapshotCorruptAndTorn(t *testing.T) {
 	}
 }
 
-// TestSnapshotVersionMismatch: a snapshot from a future format version is
-// refused outright rather than half-parsed.
+// TestSnapshotVersionMismatch: a snapshot from a future format version —
+// or one with a malformed version token, which prefix parsing (the old
+// Sscanf) silently accepted as the token's numeric prefix — is refused
+// outright rather than half-parsed.
 func TestSnapshotVersionMismatch(t *testing.T) {
 	e, _ := warmEngine(t, Options{}, mshape(t))
 	snap := snapshotBytes(t, e)
 	cur := fmt.Sprintf(" v%d ", snapshotVersion)
-	future := bytes.Replace(snap, []byte(cur), fmt.Appendf(nil, " v%d ", snapshotVersion+1), 1)
-	if n, err := New(Options{}).RestoreFrom(bytes.NewReader(future)); err == nil || n != 0 {
-		t.Fatalf("future version restored %d entries, err=%v", n, err)
+	for _, tok := range []string{
+		fmt.Sprintf("v%d", snapshotVersion+1),      // future version
+		fmt.Sprintf("v%dgarbage", snapshotVersion), // trailing junk
+		fmt.Sprintf("v+%d", snapshotVersion),       // sign (Atoi accepts it)
+		fmt.Sprintf("v0%d", snapshotVersion),       // leading zero
+		fmt.Sprintf("%d", snapshotVersion),         // missing v prefix
+	} {
+		bad := bytes.Replace(snap, []byte(cur), []byte(" "+tok+" "), 1)
+		if n, err := New(Options{}).RestoreFrom(bytes.NewReader(bad)); err == nil || n != 0 {
+			t.Fatalf("version token %q: restored %d entries, err=%v", tok, n, err)
+		}
 	}
 }
 

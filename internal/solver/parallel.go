@@ -140,11 +140,14 @@ const (
 	splitMaxExtraDepth = 3
 
 	// promoPerJobCap bounds the entries one job may extract for shared-tier
-	// promotion, bounding the coordinator's between-batch absorb work and
-	// the transient promotion buffers. At one insert per expanded node a
+	// promotion, bounding the coordinator's between-batch absorb work. The
+	// cut slices extractCanonical's (mask, sum, vec)-sorted order — raw
+	// memo iteration order varies with the slot-array size a sync.Pool-
+	// recycled searcher retained from earlier jobs, so slicing it would
+	// admit a subset that depends on worker/timing history, not just on the
+	// job's own deterministic search. At one insert per expanded node a
 	// capped round-1 job can never exceed splitNodeCap entries, so the cut
-	// (deterministic: extraction order is a pure function of the job's
-	// search) only ever bites on oversized uncapped sub-jobs.
+	// only ever bites on oversized uncapped sub-jobs.
 	promoPerJobCap = 1 << 14
 )
 
@@ -261,16 +264,13 @@ type pJob struct {
 	boundCut       bool
 	cancelled      bool
 
-	// Shared-tier promotion buffers, filled by the worker when the job ran
-	// to completion (extraction from the private memo is deterministic) and
-	// drained by the coordinator between batches, in job order. Entry i's
-	// mask occupies promoMasks[i*maskWords:(i+1)*maskWords] and its vector
-	// promoVecs[promoOff[i]:promoOff[i+1]].
-	promoMasks  []uint64
-	promoVecs   []uint64
-	promoOff    []int32
-	promoSums   []int64
-	promoSketch []uint64
+	// promo holds the job's shared-tier promotion candidates, filled by the
+	// worker when the job ran to completion — a canonically ordered,
+	// promoPerJobCap-capped extract of its private memo (see
+	// extractCanonical; a raw iteration-order extract would vary with the
+	// pooled searcher's history) — and drained by the coordinator between
+	// batches, in job order.
+	promo memoExtract
 
 	// Split bookkeeping (coordinator-written, between batches): a split
 	// parent's probe pass is discarded and the merge descends into
@@ -572,19 +572,12 @@ func (w *searcher) runJob(jb *pJob) {
 	// Extract this job's private-memo entries for shared-tier promotion —
 	// only when the subtree was fully explored: a truncated or cancelled
 	// job's memo describes partially-searched states, which must never
-	// prune another job. Extraction order (and the promoPerJobCap cut) is a
+	// prune another job. The canonical extract order makes the
+	// promoPerJobCap cut — and any memoCap cut promoteJob later applies — a
 	// pure function of the job's own deterministic search; the coordinator
 	// decides admission between batches, in job order.
 	if w.sharedTier != nil && !w.truncated && !w.cancelled {
-		jb.promoOff = append(jb.promoOff[:0], 0)
-		w.memo.forEach(func(mask, vec []uint64, sum int64, sketch uint64) bool {
-			jb.promoMasks = append(jb.promoMasks, mask...)
-			jb.promoVecs = append(jb.promoVecs, vec...)
-			jb.promoOff = append(jb.promoOff, int32(len(jb.promoVecs)))
-			jb.promoSums = append(jb.promoSums, sum)
-			jb.promoSketch = append(jb.promoSketch, sketch)
-			return len(jb.promoSums) < promoPerJobCap
-		})
+		jb.promo = w.memo.extractCanonical(promoPerJobCap)
 	}
 }
 
@@ -784,10 +777,9 @@ func (s *searcher) runParallel() {
 			for i := range batch {
 				jb := &batch[i]
 				if jb.done && !jb.truncated && !jb.cancelled {
-					promoteJob(tier, jb, s.maskWords)
+					promoteJob(tier, jb)
 				}
-				jb.promoMasks, jb.promoVecs, jb.promoSketch = nil, nil, nil
-				jb.promoOff, jb.promoSums = nil, nil
+				jb.promo = memoExtract{}
 			}
 		}
 		// Split oversized jobs in job order. Appending to jobs may grow the
@@ -928,18 +920,19 @@ func (s *searcher) runParallel() {
 // tier with the search's own probe/insert discipline: entries the tier
 // already dominates are skipped, admitted entries evict the stored
 // entries they dominate, and memoCap bounds total growth. Runs only on
-// the coordinator between batches, in job order, so admission — like
-// everything else about the tier — is a pure function of the job
-// sequence.
-func promoteJob(tier *memoTable, jb *pJob, maskWords int) {
-	for i := range jb.promoSums {
+// the coordinator between batches, in job order over the canonically
+// ordered extracts, so admission — like everything else about the tier,
+// including which entries a mid-job memoCap stop admits — is a pure
+// function of the job sequence.
+func promoteJob(tier *memoTable, jb *pJob) {
+	x := &jb.promo
+	for i := 0; i < x.len(); i++ {
 		if tier.size >= memoCap {
 			return
 		}
-		mask := jb.promoMasks[i*maskWords : (i+1)*maskWords]
-		vec := jb.promoVecs[jb.promoOff[i]:jb.promoOff[i+1]]
-		if !tier.probe(mask, vec, jb.promoSums[i], jb.promoSketch[i]) {
-			tier.insert(mask, vec, jb.promoSums[i], jb.promoSketch[i])
+		mask, vec := x.mask(i), x.vec(i)
+		if !tier.probe(mask, vec, x.sums[i], x.sketch[i]) {
+			tier.insert(mask, vec, x.sums[i], x.sketch[i])
 		}
 	}
 }
@@ -954,7 +947,8 @@ func promoteJob(tier *memoTable, jb *pJob, maskWords int) {
 // self-prune against its own memo entry; sub-jobs search strictly below
 // their captured roots exactly like round-1 jobs do. Reports whether the
 // job was split; on failure (expansion truncated by wall clock or
-// cancellation, or a subtree too shallow to split) the job keeps its
+// cancellation, a subtree too shallow to split, or one so wide that even
+// a one-level fan-out exceeds splitMaxSubJobs) the job keeps its
 // truncated probe-pass result, nodes included — nothing else will
 // re-search it, so in that fallback the probe pass is real, counted work.
 func (s *searcher) splitJob(ji int, jobs *[]pJob) bool {
@@ -986,8 +980,12 @@ func (s *searcher) splitJob(ji int, jobs *[]pJob) bool {
 	}
 
 	// Smallest extra depth yielding enough sub-jobs (same rule shape as
-	// planSplitDepth, relative to the job root).
-	extra := 1
+	// planSplitDepth, relative to the job root). extra stays 0 when even a
+	// one-level fan-out exceeds splitMaxSubJobs; splitting then would break
+	// the documented sub-job bound (and could grow the job queue past
+	// parallelMaxJobs), so the split is declined — the job keeps its
+	// truncated probe-pass result, which nothing else will re-search.
+	extra := 0
 	for d := 1; d <= maxE; d++ {
 		c := s.trialCount(d, splitMaxSubJobs)
 		if c > splitMaxSubJobs {
@@ -997,6 +995,14 @@ func (s *searcher) splitJob(ji int, jobs *[]pJob) bool {
 		if c >= splitTargetSubJobs {
 			break
 		}
+	}
+	if extra == 0 {
+		for di := depth - 1; di >= 0; di-- {
+			t := int(prefix[di])
+			c := candidate{task: t, start: s.starts[t]}
+			s.undo(c, s.pfxAvail[s.pfxOff[di]:s.pfxOff[di+1]], s.pfxMakespan[di], s.pfxMaxTail[di])
+		}
+		return false
 	}
 
 	savedNodes, savedHits, savedShared := s.nodes, s.memoHits, s.sharedMemoHits
