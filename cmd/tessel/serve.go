@@ -27,8 +27,19 @@ package main
 // -queue-wait, -tenant-rate) and refused requests get 429 with Retry-After
 // — or a node-capped best-effort answer when they set allow_degraded; the
 // repetend cache snapshots to -snapshot on SIGTERM and every
-// -snapshot-interval, and restores at boot (readiness gated by /readyz), so
-// a restart keeps previously-solved fingerprints warm.
+// -snapshot-interval (bounded-retry writes, failures counted), and restores
+// at boot (readiness gated by /readyz), so a restart keeps previously-solved
+// fingerprints warm.
+//
+// Multi-replica deployments give every replica the identical -peers list
+// (including itself, named by -peer-self): placement fingerprints route to
+// owner replicas on a consistent-hash ring, and a cold miss tries a bounded
+// peer fetch (deadline-boxed, retried with backoff, per-peer circuit
+// breakers, async health ejection) before paying a cold search. Replicas
+// serve each other entries from GET /v1/peer/entry in the checksummed
+// snapshot format and every fetched entry is re-validated like a boot
+// restore, so a slow, dead, or lying peer degrades to a cold search — never
+// a poisoned cache.
 
 import (
 	"bytes"
@@ -42,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -93,7 +105,10 @@ type searchResponse struct {
 	Shared      bool   `json:"shared"`
 	// Degraded marks a best-effort result from a node-capped search under
 	// overload — valid, but not proven optimal and never cached.
-	Degraded   bool            `json:"degraded"`
+	Degraded bool `json:"degraded"`
+	// PeerHit marks a result fetched (and re-validated) from a peer
+	// replica's cache instead of cold-searched here.
+	PeerHit    bool            `json:"peer_hit"`
 	N          int             `json:"n"`
 	Makespan   int             `json:"makespan"`
 	LowerBound int             `json:"lower_bound"`
@@ -157,10 +172,40 @@ type server struct {
 	maxN          int           // cap on requested micro-batches
 	solverWorkers int           // default per-solve worker count (0 = auto)
 	snapshotPath  string        // cache snapshot file ("" = persistence off)
+	// peerClient is the multi-replica cache tier (nil = single replica).
+	peerClient *tessel.PeerClient
 	// ready flips once the boot-time snapshot restore has finished (or
 	// immediately when persistence is off); /readyz reports 503 until then
 	// so load balancers don't route to a cold replica.
 	ready atomic.Bool
+}
+
+// snapshotWriteAttempts / snapshotWriteBackoff bound the snapshot write
+// retry loop: a transiently failing disk (full, EIO, slow NFS) gets three
+// chances with doubling backoff before the warm state is given up for this
+// round — and every failed attempt is counted in snapshot_write_errors, so
+// the loss is visible on /v1/stats either way.
+const (
+	snapshotWriteAttempts = 3
+	snapshotWriteBackoff  = 100 * time.Millisecond
+)
+
+// writeSnapshot saves the cache snapshot with bounded retry. It returns
+// the last error when every attempt failed.
+func (s *server) writeSnapshot() error {
+	backoff := snapshotWriteBackoff
+	var err error
+	for attempt := 1; attempt <= snapshotWriteAttempts; attempt++ {
+		if err = s.engine.SaveSnapshot(s.snapshotPath); err == nil {
+			return nil
+		}
+		log.Printf("tessel serve: snapshot write attempt %d/%d: %v", attempt, snapshotWriteAttempts, err)
+		if attempt < snapshotWriteAttempts {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return err
 }
 
 // runServe is the entry point of `tessel serve`.
@@ -181,10 +226,22 @@ func runServe(args []string) {
 		snapshotPath  = fs.String("snapshot", "", "cache snapshot file, restored at boot and written on SIGTERM and periodically (\"\" = off)")
 		snapshotEvery = fs.Duration("snapshot-interval", 5*time.Minute, "period between cache snapshots when -snapshot is set")
 		solverWorkers = fs.Int("solver-workers", 0, "default per-solve branch-and-bound workers when the request sets none (0 = auto)")
+
+		peers           = fs.String("peers", "", "comma-separated replica addresses forming the consistent-hash peer ring; identical on every replica and must include -peer-self (\"\" = single replica)")
+		peerSelf        = fs.String("peer-self", "", "this replica's own address exactly as it appears in -peers")
+		peerTimeout     = fs.Duration("peer-timeout", 250*time.Millisecond, "per-attempt deadline of one peer entry fetch")
+		peerAttempts    = fs.Int("peer-attempts", 2, "fetch attempts per peer including the first (1 = no retries)")
+		peerFetchBudget = fs.Duration("peer-fetch-budget", 2*time.Second, "cap on the whole peer-fetch phase of one cold miss")
+		breakerFails    = fs.Int("peer-breaker-failures", 3, "consecutive failed attempts that open a peer's circuit breaker")
+		breakerCooldown = fs.Duration("peer-breaker-cooldown", 2*time.Second, "how long an open breaker refuses a peer before a half-open probe")
+		probeInterval   = fs.Duration("peer-probe-interval", time.Second, "period between async health probes that eject/readmit peers from the ring")
 	)
 	fs.Parse(args)
 	if *solverWorkers < 0 {
 		log.Fatalf("tessel serve: -solver-workers must be non-negative, got %d", *solverWorkers)
+	}
+	if *peers != "" && *peerSelf == "" {
+		log.Fatalf("tessel serve: -peers requires -peer-self (this replica's own address in the list)")
 	}
 
 	s := &server{
@@ -196,12 +253,37 @@ func runServe(args []string) {
 			TenantRate:            *tenantRate,
 			TenantBurst:           *tenantBurst,
 			DegradedSolverNodes:   *degradedNodes,
+			PeerFetchBudget:       *peerFetchBudget,
 		}),
 		searchTimeout: *searchTimeout,
 		solverTimeout: *solverTimeout,
 		maxN:          *maxN,
 		solverWorkers: *solverWorkers,
 		snapshotPath:  *snapshotPath,
+	}
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		client, err := tessel.NewPeerClient(s.engine, tessel.PeerClientOptions{
+			Self:            *peerSelf,
+			Peers:           list,
+			AttemptTimeout:  *peerTimeout,
+			Attempts:        *peerAttempts,
+			BreakerFailures: *breakerFails,
+			BreakerCooldown: *breakerCooldown,
+			ProbeInterval:   *probeInterval,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("tessel serve: %v", err)
+		}
+		s.peerClient = client
+		s.engine.SetPeerTier(client)
+		log.Printf("tessel serve: %s", client)
 	}
 
 	srv := &http.Server{
@@ -216,6 +298,11 @@ func runServe(args []string) {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if s.peerClient != nil {
+		// Async health probes eject dead peers from the ring (and readmit
+		// recovered ones) so miss-path fetches stop wasting budget on them.
+		go s.peerClient.RunProber(ctx)
+	}
 
 	// Restore the cache in the background so the listener binds immediately;
 	// /readyz keeps the replica out of rotation until the restore finishes.
@@ -237,8 +324,8 @@ func runServe(args []string) {
 				for {
 					select {
 					case <-ticker.C:
-						if err := s.engine.SaveSnapshot(s.snapshotPath); err != nil {
-							log.Printf("tessel serve: snapshot: %v", err)
+						if err := s.writeSnapshot(); err != nil {
+							log.Printf("tessel serve: snapshot: giving up this round: %v", err)
 						}
 					case <-ctx.Done():
 						return
@@ -275,7 +362,7 @@ func runServe(args []string) {
 		// Final snapshot after the drain, so the file captures every search
 		// that completed before the process exits.
 		if s.snapshotPath != "" {
-			if err := s.engine.SaveSnapshot(s.snapshotPath); err != nil {
+			if err := s.writeSnapshot(); err != nil {
 				log.Printf("tessel serve: final snapshot: %v", err)
 			} else {
 				log.Printf("tessel serve: cache snapshot written to %s", s.snapshotPath)
@@ -294,6 +381,11 @@ func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/search", s.handleSearch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	// The peer interchange endpoints are always registered — a replica that
+	// is not in any ring simply never gets called on them, and keeping them
+	// unconditional means a rolling config change (adding -peers) needs no
+	// route changes.
+	tessel.NewPeerServer(s.engine, s.ready.Load).Register(mux)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -301,17 +393,45 @@ func (s *server) mux() *http.ServeMux {
 	// /readyz is liveness plus warmth: it reports 503 until the boot-time
 	// snapshot restore has finished, so load balancers keep traffic off a
 	// replica that would serve everything cold. /healthz stays 200 the whole
-	// time — the process is alive, just not preferred.
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !s.ready.Load() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "restoring cache snapshot")
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ready")
-	})
+	// time — the process is alive, just not preferred. The JSON body names
+	// the reason and, on multi-replica deployments, the local view of the
+	// peer ring so an operator can tell "restoring" from "ring partitioned"
+	// at a glance.
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
+}
+
+// readyzJSON is the /readyz body: machine-checkable readiness plus the
+// human-facing reason and the replica's view of its peer ring.
+type readyzJSON struct {
+	Ready bool `json:"ready"`
+	// Reason is "ok", "restoring" (boot snapshot restore still running), or
+	// "degraded-ring" (ready, but some configured peers are ejected —
+	// served traffic is fine, peer fetches just miss more).
+	Reason string `json:"reason"`
+	// PeersConfigured / PeersHealthy describe the consistent-hash ring:
+	// remote replicas configured via -peers and how many are currently in
+	// the ring (both 0 on a single replica).
+	PeersConfigured int `json:"peers_configured"`
+	PeersHealthy    int `json:"peers_healthy"`
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := readyzJSON{Ready: s.ready.Load(), Reason: "ok"}
+	if s.peerClient != nil {
+		body.PeersConfigured, body.PeersHealthy = s.peerClient.HealthSummary()
+	}
+	status := http.StatusOK
+	switch {
+	case !body.Ready:
+		body.Reason = "restoring"
+		status = http.StatusServiceUnavailable
+	case body.PeersHealthy < body.PeersConfigured:
+		// Still ready — the replica answers every request itself if it must —
+		// but surfaced so operators see a partitioned ring before it matters.
+		body.Reason = "degraded-ring"
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -414,6 +534,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		CacheHit:    info.Hit,
 		Shared:      info.Shared,
 		Degraded:    info.Degraded,
+		PeerHit:     info.PeerHit,
 		N:           res.N,
 		Makespan:    res.Makespan,
 		LowerBound:  res.LowerBound,
@@ -472,7 +593,21 @@ type serveStatsJSON struct {
 	// parallel solver's cross-job memo prunes and deterministic job splits.
 	SharedMemoHits uint64 `json:"shared_memo_hits"`
 	JobsStolen     uint64 `json:"jobs_stolen"`
-	Entries        int    `json:"entries"`
+	// SnapshotWriteErrors counts failed snapshot write attempts (each retry
+	// that fails counts once), so silent persistence loss shows up here.
+	SnapshotWriteErrors uint64 `json:"snapshot_write_errors"`
+	// PeerHits .. BreakerOpen are the multi-replica cache tier counters:
+	// misses served from a peer replica's cache, fetch rounds that found no
+	// peer copy, failed fetch attempts, retries after a failed attempt, and
+	// circuit-breaker open transitions. PeersHealthy is the current count of
+	// remote peers in the ring (all zero on a single replica).
+	PeerHits     uint64 `json:"peer_hits"`
+	PeerMisses   uint64 `json:"peer_misses"`
+	PeerErrors   uint64 `json:"peer_errors"`
+	PeerRetries  uint64 `json:"peer_retries"`
+	BreakerOpen  uint64 `json:"breaker_open"`
+	PeersHealthy int    `json:"peers_healthy"`
+	Entries      int    `json:"entries"`
 	// Ready mirrors /readyz: false until the snapshot restore finished.
 	Ready bool `json:"ready"`
 	// SolverWorkers is the configured per-solve worker default;
@@ -500,6 +635,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Restored:               st.Restored,
 		SharedMemoHits:         st.SharedMemoHits,
 		JobsStolen:             st.JobsStolen,
+		SnapshotWriteErrors:    st.SnapshotWriteErrors,
+		PeerHits:               st.PeerHits,
+		PeerMisses:             st.PeerMisses,
+		PeerErrors:             st.PeerErrors,
+		PeerRetries:            st.PeerRetries,
+		BreakerOpen:            st.BreakerOpen,
+		PeersHealthy:           st.PeersHealthy,
 		Entries:                st.Entries,
 		Ready:                  s.ready.Load(),
 		SolverWorkers:          s.solverWorkers,

@@ -9,10 +9,12 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"tessel"
+	"tessel/internal/faultpoint"
 )
 
 func newTestServer(t *testing.T) *server {
@@ -324,7 +326,9 @@ func chainJSON(f int) json.RawMessage {
 }
 
 // TestServeReadyz: /readyz gates on the snapshot restore while /healthz
-// only reports liveness — a booting replica is alive but not ready.
+// only reports liveness — a booting replica is alive but not ready. The
+// JSON body names the reason and the peer-ring view, and the peer health
+// endpoint mirrors the same readiness for remote probers.
 func TestServeReadyz(t *testing.T) {
 	s := newTestServer(t)
 	get := func(path string) *httptest.ResponseRecorder {
@@ -332,15 +336,109 @@ func TestServeReadyz(t *testing.T) {
 		s.mux().ServeHTTP(w, httptest.NewRequest("GET", path, nil))
 		return w
 	}
+	ready := func(w *httptest.ResponseRecorder) readyzJSON {
+		t.Helper()
+		var body readyzJSON
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("/readyz body %q: %v", w.Body.String(), err)
+		}
+		return body
+	}
 	if w := get("/healthz"); w.Code != 200 {
 		t.Fatalf("/healthz during boot: %d", w.Code)
 	}
-	if w := get("/readyz"); w.Code != 503 || !strings.Contains(w.Body.String(), "restoring") {
-		t.Fatalf("/readyz during boot: %d %q", w.Code, w.Body.String())
+	w := get("/readyz")
+	if body := ready(w); w.Code != 503 || body.Ready || body.Reason != "restoring" {
+		t.Fatalf("/readyz during boot: %d %+v", w.Code, body)
+	}
+	// The peer health endpoint reports the same gate to remote probers.
+	if w := get("/v1/peer/health"); w.Code != 503 {
+		t.Fatalf("/v1/peer/health during boot: %d", w.Code)
 	}
 	s.ready.Store(true)
-	if w := get("/readyz"); w.Code != 200 || !strings.Contains(w.Body.String(), "ready") {
-		t.Fatalf("/readyz after restore: %d %q", w.Code, w.Body.String())
+	w = get("/readyz")
+	if body := ready(w); w.Code != 200 || !body.Ready || body.Reason != "ok" || body.PeersConfigured != 0 {
+		t.Fatalf("/readyz after restore: %d %+v", w.Code, body)
+	}
+	if w := get("/v1/peer/health"); w.Code != 200 {
+		t.Fatalf("/v1/peer/health after restore: %d", w.Code)
+	}
+
+	// With a peer ring installed, /readyz reports the local health view —
+	// and an ejected peer flips the reason to degraded-ring while the
+	// replica itself stays ready (it can always answer alone).
+	client, err := tessel.NewPeerClient(s.engine, tessel.PeerClientOptions{
+		Self: "a:1", Peers: []string{"a:1", "b:2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.peerClient = client
+	s.engine.SetPeerTier(client)
+	w = get("/readyz")
+	if body := ready(w); w.Code != 200 || body.Reason != "ok" || body.PeersConfigured != 1 || body.PeersHealthy != 1 {
+		t.Fatalf("/readyz with healthy ring: %d %+v", w.Code, body)
+	}
+	client.Ring().Eject("b:2")
+	w = get("/readyz")
+	if body := ready(w); w.Code != 200 || !body.Ready || body.Reason != "degraded-ring" || body.PeersHealthy != 0 {
+		t.Fatalf("/readyz with ejected peer: %d %+v", w.Code, body)
+	}
+}
+
+// TestServeSnapshotWriteRetry: a disk that fails twice and then recovers
+// must cost two counted snapshot_write_errors and still produce the
+// snapshot; a disk that never recovers exhausts the bounded retries and
+// surfaces the error.
+func TestServeSnapshotWriteRetry(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	s := newTestServer(t)
+	s.snapshotPath = filepath.Join(t.TempDir(), "cache.snap")
+	s.ready.Store(true)
+
+	var calls atomic.Int32
+	faultpoint.Arm(faultpoint.EngineSnapshotWrite, func() error {
+		if calls.Add(1) <= 2 {
+			return errors.New("injected disk failure")
+		}
+		return nil
+	})
+	if err := s.writeSnapshot(); err != nil {
+		t.Fatalf("writeSnapshot with recovering disk: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("snapshot writer ran %d times, want 3 (two failures + one success)", got)
+	}
+	if st := s.engine.Stats(); st.SnapshotWriteErrors != 2 {
+		t.Fatalf("snapshot write errors = %d, want 2", st.SnapshotWriteErrors)
+	}
+
+	// The counter reaches /v1/stats under its counterparity tag.
+	w := httptest.NewRecorder()
+	s.mux().ServeHTTP(w, httptest.NewRequest("GET", "/v1/stats", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := stats["snapshot_write_errors"].(float64); !ok || got != 2 {
+		t.Fatalf("/v1/stats snapshot_write_errors = %v, want 2", stats["snapshot_write_errors"])
+	}
+	for _, field := range []string{"peer_hits", "peer_misses", "peer_errors", "peer_retries", "breaker_open", "peers_healthy"} {
+		if _, ok := stats[field]; !ok {
+			t.Fatalf("/v1/stats is missing the %s field", field)
+		}
+	}
+
+	// Permanent failure: all attempts burn, the error comes back, and every
+	// attempt is counted.
+	faultpoint.Arm(faultpoint.EngineSnapshotWrite, func() error {
+		return errors.New("injected permanent disk failure")
+	})
+	if err := s.writeSnapshot(); err == nil {
+		t.Fatal("writeSnapshot succeeded against a permanently failing disk")
+	}
+	if st := s.engine.Stats(); st.SnapshotWriteErrors != 2+snapshotWriteAttempts {
+		t.Fatalf("snapshot write errors = %d, want %d", st.SnapshotWriteErrors, 2+snapshotWriteAttempts)
 	}
 }
 

@@ -142,6 +142,10 @@ type Options struct {
 	// DegradedSolverNodes is the per-solve node cap of degraded searches
 	// (≤0 uses DefaultDegradedSolverNodes).
 	DegradedSolverNodes int64
+	// PeerFetchBudget caps the whole peer-fetch phase of one cold miss
+	// when a peer tier is installed (≤0 uses DefaultPeerFetchBudget). The
+	// cold search always keeps the remaining request deadline.
+	PeerFetchBudget time.Duration
 	// Logf receives the engine's warnings — recovered panics, skipped
 	// snapshot entries (nil uses log.Printf).
 	Logf func(format string, args ...any)
@@ -177,6 +181,22 @@ type Stats struct {
 	// JobsStolen is the total number of oversized root-split solver jobs
 	// deterministically re-split across every search this engine led.
 	JobsStolen uint64
+	// SnapshotWriteErrors counts failed cache snapshot writes — warm state
+	// that would have been silently lost if the caller only logged.
+	SnapshotWriteErrors uint64
+	// PeerHits / PeerMisses / PeerErrors / PeerRetries / BreakerOpen /
+	// PeersHealthy mirror the installed peer tier's counters (all zero
+	// when no tier is installed): cold misses served by a validated peer
+	// entry instead of a cold search, fetch rounds that fell through to a
+	// cold search, individual failed fetch attempts, retry attempts,
+	// circuit-breaker open transitions, and the current healthy remote
+	// peer count.
+	PeerHits     uint64
+	PeerMisses   uint64
+	PeerErrors   uint64
+	PeerRetries  uint64
+	BreakerOpen  uint64
+	PeersHealthy int
 	// Entries is the current number of cached results.
 	Entries int
 }
@@ -193,6 +213,9 @@ type CacheInfo struct {
 	// search under overload rather than a full sweep. Degraded results are
 	// never cached.
 	Degraded bool
+	// PeerHit is true when the repetend was fetched (validated) from a
+	// peer replica instead of cold-searched locally.
+	PeerHit bool
 }
 
 // Request is one search request at the serving boundary.
@@ -215,9 +238,11 @@ type Engine struct {
 	cap           int
 	ctrl          *admit.Controller // nil = no admission limits
 	degradedNodes int64
+	peerBudget    time.Duration
 	logf          func(format string, args ...any)
 
 	mu        sync.Mutex
+	peers     PeerTier                 // nil = no replica peer tier
 	entries   map[string]*list.Element // values are *cacheEntry
 	lru       *list.List               // front = most recently used
 	flight    map[string]*flightCall
@@ -233,8 +258,9 @@ type Engine struct {
 	// sharedMemoHits/jobsStolen accumulate the parallel-solver counters of
 	// every search this engine led (cache hits replay the originating
 	// search's Stats and are deliberately not re-counted here).
-	sharedMemoHits uint64
-	jobsStolen     uint64
+	sharedMemoHits      uint64
+	jobsStolen          uint64
+	snapshotWriteErrors uint64
 }
 
 // cacheEntry is the value stored in the LRU list.
@@ -251,6 +277,9 @@ type flightCall struct {
 	// degraded is true when the leader served a best-effort result; written
 	// before done closes, so followers read it race-free.
 	degraded bool
+	// peer is true when the leader served a validated peer-fetched entry
+	// instead of cold-searching; written before done closes.
+	peer bool
 }
 
 // New builds an Engine with the given options.
@@ -262,6 +291,7 @@ func New(opts Options) *Engine {
 	e := &Engine{
 		cap:           size,
 		degradedNodes: opts.DegradedSolverNodes,
+		peerBudget:    opts.PeerFetchBudget,
 		logf:          opts.Logf,
 		entries:       make(map[string]*list.Element),
 		lru:           list.New(),
@@ -269,6 +299,9 @@ func New(opts Options) *Engine {
 	}
 	if e.degradedNodes <= 0 {
 		e.degradedNodes = DefaultDegradedSolverNodes
+	}
+	if e.peerBudget <= 0 {
+		e.peerBudget = DefaultPeerFetchBudget
 	}
 	if e.logf == nil {
 		e.logf = log.Printf
@@ -387,6 +420,7 @@ func (e *Engine) Serve(ctx context.Context, req Request) (*core.Result, CacheInf
 			e.mu.Unlock()
 			info.Shared = true
 			info.Degraded = fc.degraded
+			info.PeerHit = fc.peer
 			return out, info, nil
 		}
 		fc := &flightCall{done: make(chan struct{})}
@@ -396,6 +430,7 @@ func (e *Engine) Serve(ctx context.Context, req Request) (*core.Result, CacheInf
 
 		res, err := e.lead(ctx, key, info.Fingerprint, fc, req)
 		info.Degraded = fc.degraded
+		info.PeerHit = fc.peer
 		return res, info, err
 	}
 }
@@ -417,7 +452,9 @@ func (e *Engine) lead(ctx context.Context, key, fingerprint string, fc *flightCa
 		fc.res, fc.err = res, err
 		e.mu.Lock()
 		delete(e.flight, key)
-		if err == nil && res != nil {
+		if err == nil && res != nil && !fc.peer {
+			// Peer-fetched results carry the *remote* replica's solver
+			// counters; accumulating them here would double-count fleet-wide.
 			e.sharedMemoHits += uint64(res.Stats.SolverSharedMemoHits)
 			e.jobsStolen += uint64(res.Stats.SolverJobsStolen)
 		}
@@ -430,6 +467,21 @@ func (e *Engine) lead(ctx context.Context, key, fingerprint string, fc *flightCa
 		e.mu.Unlock()
 		close(fc.done)
 	}()
+	// Peer fetch runs BEFORE admission control: a validated peer entry
+	// costs a bounded few milliseconds of I/O, not a saturating search, so
+	// it should neither consume a cold-search slot nor draw on the tenant's
+	// budget — under overload, a request whose owner replica has the entry
+	// is served full-quality where it would otherwise be shed or degraded.
+	// Any peer failure falls through to the normal admission + search path
+	// with the remaining deadline.
+	if tier := e.peerTier(); tier != nil {
+		if pres := e.peerFetch(ctx, fingerprint, key, tier); pres != nil {
+			if out, xerr := extendTo(ctx, pres, req.Options); xerr == nil {
+				fc.peer = true
+				return out, nil
+			}
+		}
+	}
 	if e.ctrl != nil {
 		release, waited, aerr := e.ctrl.Admit(ctx, req.Tenant)
 		if aerr != nil {
@@ -478,24 +530,37 @@ func (e *Engine) searchDegraded(ctx context.Context, fc *flightCall, req Request
 	return core.Search(ctx, req.Placement, opts)
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters, including the
+// installed peer tier's (PeerTier.Stats must not call back into the engine
+// — it runs with the engine's mutex held).
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Stats{
-		Hits:           e.hits,
-		Misses:         e.misses,
-		Shared:         e.shared,
-		Evictions:      e.evictions,
-		Admitted:       e.admitted,
-		Queued:         e.queued,
-		Shed:           e.shed,
-		Degraded:       e.degraded,
-		Restored:       e.restored,
-		SharedMemoHits: e.sharedMemoHits,
-		JobsStolen:     e.jobsStolen,
-		Entries:        len(e.entries),
+	s := Stats{
+		Hits:                e.hits,
+		Misses:              e.misses,
+		Shared:              e.shared,
+		Evictions:           e.evictions,
+		Admitted:            e.admitted,
+		Queued:              e.queued,
+		Shed:                e.shed,
+		Degraded:            e.degraded,
+		Restored:            e.restored,
+		SharedMemoHits:      e.sharedMemoHits,
+		JobsStolen:          e.jobsStolen,
+		SnapshotWriteErrors: e.snapshotWriteErrors,
+		Entries:             len(e.entries),
 	}
+	if e.peers != nil {
+		ps := e.peers.Stats()
+		s.PeerHits = ps.Hits
+		s.PeerMisses = ps.Misses
+		s.PeerErrors = ps.Errors
+		s.PeerRetries = ps.Retries
+		s.BreakerOpen = ps.BreakerOpen
+		s.PeersHealthy = ps.PeersHealthy
+	}
+	return s
 }
 
 // extendTo adapts a cached result to the requested micro-batch count,

@@ -136,6 +136,13 @@ func (e *Engine) SnapshotTo(w io.Writer) error {
 		entry.Recency = i // 0 = MRU; results were walked front-to-back
 		body.Entries = append(body.Entries, entry)
 	}
+	return writeSnapshotPayload(w, &body)
+}
+
+// writeSnapshotPayload marshals a snapshot body and writes it with the
+// checksummed header line. Shared by the whole-cache snapshot writer and the
+// single-entry peer interchange (peer.go), so both speak the same format.
+func writeSnapshotPayload(w io.Writer, body *snapshotBody) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -148,42 +155,55 @@ func (e *Engine) SnapshotTo(w io.Writer) error {
 	return err
 }
 
-// RestoreFrom loads a snapshot into the cache, returning how many entries
-// were restored. A checksum or version mismatch returns an error and
-// restores nothing; an individually invalid entry is skipped with a logged
-// warning while the rest restore. Entries already live in the cache are
-// never overwritten — a restore after boot cannot clobber fresher results.
-func (e *Engine) RestoreFrom(r io.Reader) (int, error) {
+// parseSnapshotPayload reads and validates a checksummed snapshot stream:
+// header shape, strict version token, body checksum, and body/header version
+// agreement. It returns the decoded body and its version; any failure means
+// the bytes must be discarded wholesale (the caller decides whether that is
+// a cold start or a rejected peer response).
+func parseSnapshotPayload(r io.Reader) (*snapshotBody, int, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
 	if err != nil {
-		return 0, fmt.Errorf("engine: snapshot header: %w", err)
+		return nil, 0, fmt.Errorf("engine: snapshot header: %w", err)
 	}
 	fields := strings.Fields(strings.TrimSpace(header))
 	if len(fields) != 3 || fields[0] != snapshotMagic {
-		return 0, fmt.Errorf("engine: not a tessel snapshot (header %q)", strings.TrimSpace(header))
+		return nil, 0, fmt.Errorf("engine: not a tessel snapshot (header %q)", strings.TrimSpace(header))
 	}
 	// Parse the version token strictly: Sscanf-style prefix parsing would
 	// accept a corrupt token like "v2garbage" as v2; requiring the token to
 	// round-trip also rejects "v+2" and "v02".
 	version, err := strconv.Atoi(strings.TrimPrefix(fields[1], "v"))
 	if err != nil || fields[1] != fmt.Sprintf("v%d", version) || version < snapshotVersionMin || version > snapshotVersion {
-		return 0, fmt.Errorf("engine: unsupported snapshot version %s (want v%d..v%d)", fields[1], snapshotVersionMin, snapshotVersion)
+		return nil, 0, fmt.Errorf("engine: unsupported snapshot version %s (want v%d..v%d)", fields[1], snapshotVersionMin, snapshotVersion)
 	}
 	payload, err := io.ReadAll(br)
 	if err != nil {
-		return 0, fmt.Errorf("engine: snapshot body: %w", err)
+		return nil, 0, fmt.Errorf("engine: snapshot body: %w", err)
 	}
 	sum := sha256.Sum256(payload)
 	if got := hex.EncodeToString(sum[:]); got != fields[2] {
-		return 0, fmt.Errorf("engine: snapshot checksum mismatch (torn or corrupt write)")
+		return nil, 0, fmt.Errorf("engine: snapshot checksum mismatch (torn or corrupt write)")
 	}
 	var body snapshotBody
 	if err := json.Unmarshal(payload, &body); err != nil {
-		return 0, fmt.Errorf("engine: snapshot body: %w", err)
+		return nil, 0, fmt.Errorf("engine: snapshot body: %w", err)
 	}
 	if body.Version != version {
-		return 0, fmt.Errorf("engine: snapshot body version %d does not match header v%d", body.Version, version)
+		return nil, 0, fmt.Errorf("engine: snapshot body version %d does not match header v%d", body.Version, version)
+	}
+	return &body, version, nil
+}
+
+// RestoreFrom loads a snapshot into the cache, returning how many entries
+// were restored. A checksum or version mismatch returns an error and
+// restores nothing; an individually invalid entry is skipped with a logged
+// warning while the rest restore. Entries already live in the cache are
+// never overwritten — a restore after boot cannot clobber fresher results.
+func (e *Engine) RestoreFrom(r io.Reader) (int, error) {
+	body, version, err := parseSnapshotPayload(r)
+	if err != nil {
+		return 0, err
 	}
 
 	// Replay order: v2 bodies carry an explicit per-entry Recency rank
@@ -229,8 +249,20 @@ func (e *Engine) RestoreFrom(r io.Reader) (int, error) {
 // SaveSnapshot atomically writes the cache snapshot to path: the payload
 // goes to a temp file in the same directory, which is renamed over path
 // only after a successful sync-less close — a crash or injected fault
-// mid-write leaves the previous snapshot untouched.
+// mid-write leaves the previous snapshot untouched. Every failed write is
+// counted in Stats.SnapshotWriteErrors, so silently lost warm state shows
+// up on dashboards even when the caller only logs the error.
 func (e *Engine) SaveSnapshot(path string) error {
+	err := e.saveSnapshot(path)
+	if err != nil {
+		e.mu.Lock()
+		e.snapshotWriteErrors++
+		e.mu.Unlock()
+	}
+	return err
+}
+
+func (e *Engine) saveSnapshot(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

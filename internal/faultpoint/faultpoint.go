@@ -42,6 +42,17 @@ const (
 	// payload is assembled but before the temp file is renamed into place,
 	// so an armed fault leaves a torn temp file, never a torn snapshot.
 	EngineSnapshotWrite = "engine/snapshot-write"
+	// PeerServeEntry fires in the peer entry handler after the entry bytes
+	// are assembled but before they are written. An armed error handler
+	// makes the replica die mid-stream: the handler writes the checksummed
+	// header plus half the payload and then tears the connection, so the
+	// fetching replica receives a torn body its validation must reject.
+	PeerServeEntry = "peer/serve-entry"
+	// PeerServeHealth fires in the peer health handler before it reports.
+	// An armed error handler makes the replica report unhealthy (503), so
+	// chaos tests can flap a peer's health deterministically and watch the
+	// prober eject and readmit it.
+	PeerServeHealth = "peer/serve-health"
 )
 
 // armed counts currently armed points. The Inject fast path is one atomic

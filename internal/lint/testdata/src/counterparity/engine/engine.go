@@ -5,9 +5,13 @@
 package engine
 
 type Stats struct {
-	Hits    uint64
-	Misses  uint64
-	Shed    uint64
-	Entries int
-	Ready   bool
+	Hits        uint64
+	Misses      uint64
+	Shed        uint64
+	PeerHits    uint64
+	BreakerOpen uint64
+	// PeersHealthy is an int gauge: parity-relevant like Entries.
+	PeersHealthy int
+	Entries      int
+	Ready        bool
 }

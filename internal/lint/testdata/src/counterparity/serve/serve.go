@@ -23,12 +23,22 @@ func Render(s core.Stats) searchStatsJSON {
 }
 
 type serveStatsJSON struct { // want "engine.Stats counter Shed is not exposed"
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	PeerHits     uint64 `json:"peer_hits"`
+	BreakerOpen  uint64 `json:"breaker_open"`
+	PeersHealthy int    `json:"peers_healthy"`
+	Entries      int    `json:"entries"`
 }
 
 // RenderServe keeps the engine import live.
 func RenderServe(s engine.Stats) serveStatsJSON {
-	return serveStatsJSON{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries}
+	return serveStatsJSON{
+		Hits:         s.Hits,
+		Misses:       s.Misses,
+		PeerHits:     s.PeerHits,
+		BreakerOpen:  s.BreakerOpen,
+		PeersHealthy: s.PeersHealthy,
+		Entries:      s.Entries,
+	}
 }

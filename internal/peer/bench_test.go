@@ -1,0 +1,79 @@
+package peer
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tessel/internal/core"
+	"tessel/internal/engine"
+	"tessel/internal/placement"
+	"tessel/internal/sched"
+)
+
+// benchPlacement is the 4-device m-shape — the placement whose cold search
+// is expensive enough that the peer-fetch-vs-cold-search comparison means
+// something (the EXPERIMENTS.md PR 8 restart-to-warm numbers use it too).
+func benchPlacement(b *testing.B) *sched.Placement {
+	b.Helper()
+	p, err := placement.MShape(placement.Config{Devices: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkPeerFetchServe measures serving a cold miss from a peer
+// replica's cache: per iteration, a fresh replica (engine + client) asks
+// the warm replica over real HTTP, validates the entry through the
+// snapshot codec, and inserts it. Compare BenchmarkPeerColdSearch — the
+// bill the fetch avoids.
+func BenchmarkPeerFetchServe(b *testing.B) {
+	p := benchPlacement(b)
+	warm := engine.New(engine.Options{})
+	if _, _, err := warm.Search(context.Background(), p, core.Options{N: 8}); err != nil {
+		b.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	NewServer(warm, nil).Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// A standing second address keeps the ring two-membered; it is never
+	// contacted (the warm replica answers first).
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{})
+		client, err := NewClient(eng, ClientOptions{
+			Self:           "bench-self:0",
+			Peers:          []string{"bench-self:0", srv.URL},
+			AttemptTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.SetPeerTier(client)
+		_, info, err := eng.Search(context.Background(), p, core.Options{N: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.PeerHit {
+			b.Fatalf("iteration %d was not a peer hit: %+v", i, info)
+		}
+	}
+}
+
+// BenchmarkPeerColdSearch is the baseline the peer fetch replaces: the
+// same request on a fresh replica with no peers.
+func BenchmarkPeerColdSearch(b *testing.B) {
+	p := benchPlacement(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{})
+		if _, _, err := eng.Search(context.Background(), p, core.Options{N: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

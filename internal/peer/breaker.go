@@ -1,0 +1,143 @@
+package peer
+
+import (
+	"sync"
+	"time"
+)
+
+// Default breaker tuning: open after 3 consecutive failed attempts, probe
+// again after 2 s. Half-open admits exactly one probe; its outcome decides
+// between closing and re-opening, so a still-dead peer costs one attempt
+// per cooldown instead of a timeout per request.
+const (
+	DefaultBreakerFailures = 3
+	DefaultBreakerCooldown = 2 * time.Second
+)
+
+// BreakerState is the circuit's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe request is allowed through; its
+	// outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-peer circuit breaker. It deliberately knows nothing
+// about HTTP or the ring: Allow/Success/Failure is the whole protocol, and
+// the clock is injectable so the chaos tests drive open → half-open →
+// closed transitions without sleeping.
+type breaker struct {
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive, while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	onOpen    func() // counts open transitions; called after mu is released
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onOpen func()) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerFailures
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, onOpen: onOpen}
+}
+
+// Allow reports whether a request may be sent to the peer now. In the open
+// state it flips to half-open once the cooldown has elapsed and admits the
+// caller as the single probe.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful attempt: the circuit closes and the failure
+// count resets, whatever state it was in.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed attempt. A half-open probe failure re-opens
+// immediately; in the closed state the circuit opens once the consecutive
+// failure count reaches the threshold.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	opened := false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.failures = 0
+		opened = true
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.failures = 0
+			opened = true
+		}
+	}
+	onOpen := b.onOpen
+	b.mu.Unlock()
+	if opened && onOpen != nil {
+		onOpen()
+	}
+}
+
+// State returns the circuit's current position (open reads as open even if
+// the cooldown has elapsed — the transition happens on the next Allow).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

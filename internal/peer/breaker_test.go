@@ -1,0 +1,127 @@
+package peer
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock so breaker tests drive the
+// open → half-open → closed lifecycle without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerLifecycle walks the full state machine: consecutive failures
+// open the circuit at the threshold (a success in between resets the
+// count), the cooldown admits exactly one half-open probe, a failed probe
+// re-opens, and a successful probe closes.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	opens := 0
+	b := newBreaker(3, 2*time.Second, clock.Now, func() { opens++ })
+
+	if !b.Allow() {
+		t.Fatal("fresh breaker refused a request")
+	}
+	// Two failures, then a success: the consecutive count must reset.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %s after interrupted failure run, want closed", st)
+	}
+	if opens != 0 {
+		t.Fatalf("breaker opened %d times before the threshold", opens)
+	}
+
+	// Third consecutive failure: open.
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %s after threshold failures, want open", st)
+	}
+	if opens != 1 {
+		t.Fatalf("open transitions = %d, want 1", opens)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe.
+	clock.Advance(2*time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after the cooldown")
+	}
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state %s during probe, want half-open", st)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails: re-open, full cooldown again.
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %s after failed probe, want open", st)
+	}
+	if opens != 2 {
+		t.Fatalf("open transitions = %d after failed probe, want 2", opens)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+
+	// Second probe succeeds: closed, traffic flows again.
+	clock.Advance(2*time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Success()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %s after successful probe, want closed", st)
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker refused requests")
+	}
+	if opens != 2 {
+		t.Fatalf("open transitions = %d at end, want 2", opens)
+	}
+}
+
+// TestBreakerDefaults: zeroed tuning falls back to the documented defaults
+// rather than a breaker that opens on the first failure or never probes.
+func TestBreakerDefaults(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(0, 0, clock.Now, nil)
+	for i := 0; i < DefaultBreakerFailures-1; i++ {
+		b.Failure()
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %s one failure short of the default threshold, want closed", st)
+	}
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %s at the default threshold, want open", st)
+	}
+	clock.Advance(DefaultBreakerCooldown + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused a probe after the default cooldown")
+	}
+}

@@ -1,0 +1,406 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tessel/internal/core"
+	"tessel/internal/engine"
+)
+
+// Client-side defaults. An entire fetch round is additionally boxed by the
+// engine's PeerFetchBudget, so these bound one peer, not the request.
+const (
+	// DefaultReplication is how many owner replicas a fetch tries.
+	DefaultReplication = 2
+	// DefaultAttemptTimeout deadline-boxes one HTTP attempt.
+	DefaultAttemptTimeout = 250 * time.Millisecond
+	// DefaultAttempts is the per-peer attempt count (first try + retries).
+	DefaultAttempts = 2
+	// DefaultBackoffBase seeds the jittered exponential retry backoff.
+	DefaultBackoffBase = 15 * time.Millisecond
+	// maxEntryBytes bounds a peer entry response body; a single cached
+	// entry is a few hundred KB at the serving caps, so 16 MB is generous
+	// while still refusing to buffer an adversarial stream.
+	maxEntryBytes = 16 << 20
+)
+
+// ClientOptions configures a Client.
+type ClientOptions struct {
+	// Self is this replica's own address exactly as it appears in Peers.
+	// It must be a ring member so every replica computes identical
+	// ownership; the client never fetches from itself.
+	Self string
+	// Peers is the static replica list (every replica must be given the
+	// same list, order-independent). Entries are host:port or full URLs;
+	// bare host:port gets an http:// scheme.
+	Peers []string
+	// VirtualNodes is the per-peer ring point count (0 = default).
+	VirtualNodes int
+	// Replication is how many owner replicas one fetch tries (0 = 2).
+	Replication int
+	// AttemptTimeout deadline-boxes one HTTP attempt (0 = 250ms).
+	AttemptTimeout time.Duration
+	// Attempts is the per-peer attempt budget including the first
+	// (0 = 2; 1 = no retries).
+	Attempts int
+	// BackoffBase seeds the jittered exponential backoff between retries
+	// against the same peer (0 = 15ms; attempt k waits in
+	// [base·2ᵏ⁻¹, 2·base·2ᵏ⁻¹)).
+	BackoffBase time.Duration
+	// BreakerFailures opens a peer's circuit after this many consecutive
+	// failed attempts (0 = 3).
+	BreakerFailures int
+	// BreakerCooldown is how long an open circuit refuses the peer before
+	// admitting a half-open probe (0 = 2s).
+	BreakerCooldown time.Duration
+	// ProbeInterval paces the async health prober (0 = 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout deadline-boxes one health probe (0 = AttemptTimeout).
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a peer from the ring after this many consecutive
+	// failed health probes (0 = 2).
+	EjectAfter int
+	// ReadmitAfter readmits an ejected peer after this many consecutive
+	// successful probes (0 = 2).
+	ReadmitAfter int
+	// HTTPClient overrides the transport (nil = a client with sane
+	// connection pooling; per-attempt deadlines come from contexts, so the
+	// client's own Timeout stays zero).
+	HTTPClient *http.Client
+	// Logf receives client warnings (nil = discard; the engine already
+	// surfaces peer failures as counters, so logs are debugging aid only).
+	Logf func(format string, args ...any)
+
+	// now overrides the clock for breaker cooldowns in tests (nil =
+	// time.Now).
+	now func() time.Time
+	// sleep overrides the retry backoff wait in tests (nil = a
+	// context-aware timer sleep).
+	sleep func(ctx context.Context, d time.Duration)
+}
+
+// Client is the fetching side of the peer tier: it routes fingerprints on
+// the ring, fetches entries over HTTP with retries and per-peer circuit
+// breakers, and validates every response through the engine's snapshot
+// codec before insertion. It implements engine.PeerTier.
+type Client struct {
+	eng  *engine.Engine
+	ring *Ring
+	self string
+
+	replication    int
+	attemptTimeout time.Duration
+	attempts       int
+	backoffBase    time.Duration
+	probeInterval  time.Duration
+	probeTimeout   time.Duration
+	ejectAfter     int
+	readmitAfter   int
+
+	http  *http.Client
+	logf  func(format string, args ...any)
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration)
+
+	breakerFailures int
+	breakerCooldown time.Duration
+	breakersMu      sync.Mutex
+	breakers        map[string]*breaker
+
+	// remotes is the ring membership minus self, in ring-sorted order —
+	// the peers the prober sweeps.
+	remotes []string
+	// probeState tracks consecutive health-probe outcomes per remote.
+	probeMu    sync.Mutex
+	probeState map[string]*probeState
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	errors      atomic.Uint64
+	retries     atomic.Uint64
+	breakerOpen atomic.Uint64
+
+	// rngMu guards rng: math/rand.Rand is not concurrency-safe and jitter
+	// may be drawn from concurrent fetches.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewClient builds the peer tier client around an engine. The engine is
+// where fetched entries are validated and inserted; install the client on
+// it afterwards with eng.SetPeerTier(c).
+func NewClient(eng *engine.Engine, opts ClientOptions) (*Client, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("peer: client needs an engine")
+	}
+	if opts.Self == "" {
+		return nil, fmt.Errorf("peer: client needs Self, this replica's own ring address")
+	}
+	ring, err := NewRing(opts.Peers, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	if !ring.Contains(opts.Self) {
+		return nil, fmt.Errorf("peer: Self %q is not in the peer list — every replica must be given the identical full list, including itself", opts.Self)
+	}
+	c := &Client{
+		eng:             eng,
+		ring:            ring,
+		self:            opts.Self,
+		replication:     opts.Replication,
+		attemptTimeout:  opts.AttemptTimeout,
+		attempts:        opts.Attempts,
+		backoffBase:     opts.BackoffBase,
+		probeInterval:   opts.ProbeInterval,
+		probeTimeout:    opts.ProbeTimeout,
+		ejectAfter:      opts.EjectAfter,
+		readmitAfter:    opts.ReadmitAfter,
+		http:            opts.HTTPClient,
+		logf:            opts.Logf,
+		now:             opts.now,
+		sleep:           opts.sleep,
+		breakerFailures: opts.BreakerFailures,
+		breakerCooldown: opts.BreakerCooldown,
+		breakers:        make(map[string]*breaker),
+		probeState:      make(map[string]*probeState),
+	}
+	if c.replication <= 0 {
+		c.replication = DefaultReplication
+	}
+	if c.attemptTimeout <= 0 {
+		c.attemptTimeout = DefaultAttemptTimeout
+	}
+	if c.attempts <= 0 {
+		c.attempts = DefaultAttempts
+	}
+	if c.backoffBase <= 0 {
+		c.backoffBase = DefaultBackoffBase
+	}
+	if c.probeInterval <= 0 {
+		c.probeInterval = time.Second
+	}
+	if c.probeTimeout <= 0 {
+		c.probeTimeout = c.attemptTimeout
+	}
+	if c.ejectAfter <= 0 {
+		c.ejectAfter = DefaultEjectAfter
+	}
+	if c.readmitAfter <= 0 {
+		c.readmitAfter = DefaultReadmitAfter
+	}
+	if c.http == nil {
+		c.http = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
+	for _, p := range ring.Peers() {
+		if p != c.self {
+			c.remotes = append(c.remotes, p)
+			c.probeState[p] = &probeState{}
+		}
+	}
+	// Jitter decorrelates retry storms between replicas; it never affects
+	// which entry is fetched, so a seeded source keeps tests deterministic
+	// without a determinism-lint concern (peer is not a search package).
+	c.rng = rand.New(rand.NewSource(c.now().UnixNano()))
+	return c, nil
+}
+
+// Ring exposes the client's ring for readiness reporting and tests.
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Stats implements engine.PeerTier. It must not call into the engine (the
+// engine snapshots it with its own mutex held); everything here is atomics
+// and the ring's internal lock.
+func (c *Client) Stats() engine.PeerStats {
+	healthy := 0
+	for _, p := range c.remotes {
+		if !c.ring.Ejected(p) {
+			healthy++
+		}
+	}
+	return engine.PeerStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Errors:       c.errors.Load(),
+		Retries:      c.retries.Load(),
+		BreakerOpen:  c.breakerOpen.Load(),
+		PeersHealthy: healthy,
+	}
+}
+
+// BreakerState reports a peer's circuit position (closed for peers that
+// have never been fetched from).
+func (c *Client) BreakerState(peer string) BreakerState {
+	return c.breakerFor(peer).State()
+}
+
+func (c *Client) breakerFor(peer string) *breaker {
+	c.breakersMu.Lock()
+	defer c.breakersMu.Unlock()
+	b, ok := c.breakers[peer]
+	if !ok {
+		b = newBreaker(c.breakerFailures, c.breakerCooldown, c.now, func() {
+			c.breakerOpen.Add(1)
+		})
+		c.breakers[peer] = b
+	}
+	return b
+}
+
+// fetchOutcome classifies one HTTP attempt.
+type fetchOutcome int
+
+const (
+	fetchHit      fetchOutcome = iota // validated entry obtained
+	fetchNotFound                     // peer answered authoritatively: not cached
+	fetchFailure                      // network error, bad status, or invalid body
+)
+
+// Fetch implements engine.PeerTier: it walks the fingerprint's healthy
+// owners (skipping itself and open-circuit peers) and tries each with
+// deadline-boxed attempts and jittered exponential backoff. The first
+// validated entry wins; a peer that answers "not cached" is not retried
+// (the answer is authoritative). Every outcome that is not a hit returns
+// (nil, nil) — a miss the engine converts into a cold search — except a
+// dead context, whose error is returned so the engine can stop early.
+func (c *Client) Fetch(ctx context.Context, fingerprint, key string) (*core.Result, error) {
+	// Ask for one extra owner so that when this replica is itself an owner
+	// the fetch still reaches `replication` remote candidates.
+	owners := c.ring.Owners(fingerprint, c.replication+1)
+	tried := 0
+	for _, owner := range owners {
+		if owner == c.self || tried >= c.replication {
+			continue
+		}
+		tried++
+		br := c.breakerFor(owner)
+		for attempt := 0; attempt < c.attempts; attempt++ {
+			if ctx.Err() != nil {
+				c.misses.Add(1)
+				return nil, ctx.Err()
+			}
+			if !br.Allow() {
+				// Open circuit: skip the peer entirely (and any retries).
+				break
+			}
+			if attempt > 0 {
+				c.retries.Add(1)
+				c.sleep(ctx, c.backoff(attempt))
+				if ctx.Err() != nil {
+					c.misses.Add(1)
+					return nil, ctx.Err()
+				}
+			}
+			res, outcome, err := c.fetchOnce(ctx, owner, key)
+			switch outcome {
+			case fetchHit:
+				br.Success()
+				c.hits.Add(1)
+				return res, nil
+			case fetchNotFound:
+				br.Success()
+			case fetchFailure:
+				c.errors.Add(1)
+				br.Failure()
+				c.logf("peer: fetch %s from %s (attempt %d/%d): %v", fingerprint[:minInt(8, len(fingerprint))], owner, attempt+1, c.attempts, err)
+				continue
+			}
+			break // authoritative not-found: next owner
+		}
+	}
+	c.misses.Add(1)
+	return nil, nil
+}
+
+// backoff computes the jittered exponential wait before retry `attempt`
+// (1-based): uniform in [base·2ᵃ⁻¹, 2·base·2ᵃ⁻¹).
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.backoffBase << (attempt - 1)
+	c.rngMu.Lock()
+	j := c.rng.Float64()
+	c.rngMu.Unlock()
+	return base + time.Duration(float64(base)*j)
+}
+
+// fetchOnce performs one deadline-boxed HTTP attempt against one peer and
+// validates the response through the engine (checksum, version, key match,
+// full structural re-validation). Validation failures are failures — a
+// lying peer trips its breaker just like a dead one.
+func (c *Client) fetchOnce(ctx context.Context, owner, key string) (*core.Result, fetchOutcome, error) {
+	actx, cancel := context.WithTimeout(ctx, c.attemptTimeout)
+	defer cancel()
+	u := peerBaseURL(owner) + "/v1/peer/entry?key=" + url.QueryEscape(key)
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fetchFailure, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fetchFailure, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, fetchNotFound, nil
+	default:
+		return nil, fetchFailure, fmt.Errorf("peer %s: status %s", owner, resp.Status)
+	}
+	res, err := c.eng.InsertPeerEntry(key, io.LimitReader(resp.Body, maxEntryBytes))
+	if err != nil {
+		return nil, fetchFailure, fmt.Errorf("peer %s: %w", owner, err)
+	}
+	return res, fetchHit, nil
+}
+
+// peerBaseURL normalizes a peer address to a URL base: bare host:port gets
+// http://, trailing slashes are trimmed.
+func peerBaseURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

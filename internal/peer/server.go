@@ -1,0 +1,100 @@
+package peer
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"tessel/internal/engine"
+	"tessel/internal/faultpoint"
+)
+
+// Server is the serving side of the peer interchange: two GET endpoints on
+// the replica's existing mux. /v1/peer/entry serves one cache entry in the
+// checksummed single-entry snapshot format (never triggering a search — a
+// peer asking a peer can only ever read caches, so fetch chains cannot
+// recurse), and /v1/peer/health is the probe target for remote prober
+// loops.
+type Server struct {
+	eng *engine.Engine
+	// ready mirrors the replica's /readyz condition; nil means always
+	// ready. An un-ready replica reports health 503 so remote probers keep
+	// it ejected — its cache is still restoring, so entry fetches would
+	// mostly miss and waste the fetcher's budget.
+	ready func() bool
+}
+
+// NewServer builds the peer-facing handlers around an engine.
+func NewServer(eng *engine.Engine, ready func() bool) *Server {
+	return &Server{eng: eng, ready: ready}
+}
+
+// Register installs the peer endpoints on mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/peer/entry", s.handleEntry)
+	mux.HandleFunc("/v1/peer/health", s.handleHealth)
+}
+
+// handleEntry serves GET /v1/peer/entry?key=<cache key>: the entry as a
+// checksummed single-entry snapshot, 404 when not cached. The fetching
+// replica re-validates everything, so this handler's only obligations are
+// honesty and boundedness.
+func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key parameter", http.StatusBadRequest)
+		return
+	}
+	data, found, err := s.eng.EncodePeerEntry(key)
+	if err != nil {
+		http.Error(w, "encode entry: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !found {
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if ferr := faultpoint.Inject(faultpoint.PeerServeEntry); ferr != nil {
+		// Chaos: die mid-stream. Write the intact header and half the
+		// payload, then tear the connection — the fetcher must reject the
+		// torn body on checksum and degrade to a cold search.
+		w.Write(data[:len(data)/2])
+		panic(http.ErrAbortHandler)
+	}
+	w.Write(data)
+}
+
+// peerHealthJSON is the health probe body. Probers only look at the status
+// code; the body is for humans debugging a ring.
+type peerHealthJSON struct {
+	Status  string `json:"status"` // "ok" | "restoring"
+	Ready   bool   `json:"ready"`
+	Entries int    `json:"entries"`
+}
+
+// handleHealth serves GET /v1/peer/health: 200 when the replica is ready
+// to serve peer fetches, 503 while its cache is still restoring (or when a
+// chaos fault is armed).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	body := peerHealthJSON{Status: "ok", Ready: true, Entries: s.eng.Stats().Entries}
+	status := http.StatusOK
+	if s.ready != nil && !s.ready() {
+		body.Status, body.Ready = "restoring", false
+		status = http.StatusServiceUnavailable
+	}
+	if ferr := faultpoint.Inject(faultpoint.PeerServeHealth); ferr != nil {
+		body.Status, body.Ready = ferr.Error(), false
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}

@@ -33,6 +33,7 @@ import (
 	"tessel/internal/codegen"
 	"tessel/internal/core"
 	"tessel/internal/engine"
+	"tessel/internal/peer"
 	"tessel/internal/placement"
 	"tessel/internal/runtime"
 	"tessel/internal/sched"
@@ -308,6 +309,36 @@ var ErrInvalidRequest = engine.ErrInvalidRequest
 // DefaultEngineCacheSize is the engine's cache capacity when
 // EngineOptions.CacheSize is zero.
 const DefaultEngineCacheSize = engine.DefaultCacheSize
+
+// Multi-replica peer tier (see internal/peer): a consistent-hash ring over
+// a static replica list with a bounded, circuit-broken peer fetch the
+// engine tries on a cold miss before paying a cold search. Replicas
+// exchange cache entries in the checksummed snapshot format and every
+// fetched entry is re-validated exactly like a boot restore.
+type (
+	// PeerClient is the fetching side of the peer tier; it implements
+	// PeerTier and is installed on an Engine with Engine.SetPeerTier.
+	PeerClient = peer.Client
+	// PeerClientOptions configures a PeerClient: the static ring (Self +
+	// Peers), fetch deadlines and retries, breaker thresholds, and the
+	// health-prober cadence.
+	PeerClientOptions = peer.ClientOptions
+	// PeerServer serves the peer interchange endpoints (/v1/peer/entry,
+	// /v1/peer/health) from a replica's cache.
+	PeerServer = peer.Server
+	// PeerTier is the engine-side hook a replica cache tier implements.
+	PeerTier = engine.PeerTier
+	// PeerStats is a snapshot of a peer tier's counters.
+	PeerStats = engine.PeerStats
+	// PeerRing is the deterministic consistent-hash ring.
+	PeerRing = peer.Ring
+)
+
+// NewPeerClient builds the peer tier client around an engine.
+var NewPeerClient = peer.NewClient
+
+// NewPeerServer builds the peer-facing HTTP handlers around an engine.
+var NewPeerServer = peer.NewServer
 
 // DefaultDegradedSolverNodes is the per-solve node cap of degraded
 // (best-effort) searches when EngineOptions.DegradedSolverNodes is zero.
